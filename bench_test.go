@@ -1,0 +1,298 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus ablations over the design choices called out in DESIGN.md §5.
+//
+// Each Benchmark<Artifact>/<circuit> op regenerates that artifact's row for
+// the circuit at benchmark scale (a few chips); cmd/efftables runs the same
+// code at full scale for EXPERIMENTS.md. Set EFFITEST_BENCH_ALL=1 to include
+// the two largest circuits (mem_ctrl, pci_bridge32).
+package effitest_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"effitest"
+)
+
+// benchCircuits returns the circuits benchmarked by default (the two
+// largest are opt-in: their np ≈ 3k-3.5k path-wise baselines dominate
+// wall-clock without changing what is measured).
+func benchCircuits() []string {
+	names := []string{"s9234", "s13207", "s15850", "s38584", "usb_funct", "ac97_ctrl"}
+	if os.Getenv("EFFITEST_BENCH_ALL") != "" {
+		names = append(names, "mem_ctrl", "pci_bridge32")
+	}
+	return names
+}
+
+func benchExpConfig() effitest.ExpConfig {
+	cfg := effitest.DefaultExpConfig()
+	cfg.CostChips = 3
+	cfg.YieldChips = 40
+	cfg.Fig8Chips = 1
+	cfg.QuantileChips = 300
+	return cfg
+}
+
+// BenchmarkTable1 regenerates Table 1 rows: test cost of the proposed flow
+// (ta, tv) against path-wise frequency stepping (t′a, t′v). The headline
+// metric ra (iteration reduction) is reported per op.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range benchCircuits() {
+		p, _ := effitest.ProfileByName(name)
+		b.Run(name, func(b *testing.B) {
+			var lastRA float64
+			for i := 0; i < b.N; i++ {
+				row, err := effitest.RunTable1(p, benchExpConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRA = row.RA
+			}
+			b.ReportMetric(lastRA, "ra_%")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 rows: yield with ideal measurement
+// (yi) vs the proposed flow (yt) at the T2 period.
+func BenchmarkTable2(b *testing.B) {
+	for _, name := range benchCircuits() {
+		p, _ := effitest.ProfileByName(name)
+		b.Run(name, func(b *testing.B) {
+			var lastYT float64
+			for i := 0; i < b.N; i++ {
+				row, err := effitest.RunTable2(p, benchExpConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastYT = row.T2YT
+			}
+			b.ReportMetric(lastYT, "t2_yt_%")
+		})
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 bar groups: yield with standard
+// deviations inflated 10% (covariances unchanged).
+func BenchmarkFig7(b *testing.B) {
+	for _, name := range benchCircuits() {
+		p, _ := effitest.ProfileByName(name)
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				row, err := effitest.RunFig7(p, benchExpConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row.Proposed
+			}
+			b.ReportMetric(last, "proposed_%")
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 bar groups: iterations per path with
+// no statistical prediction (all np paths measured), across path-wise /
+// multiplexing / multiplexing+alignment.
+func BenchmarkFig8(b *testing.B) {
+	for _, name := range benchCircuits() {
+		p, _ := effitest.ProfileByName(name)
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				row, err := effitest.RunFig8(p, benchExpConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row.Proposed
+			}
+			b.ReportMetric(last, "iter_per_path")
+		})
+	}
+}
+
+// flowFixture caches the expensive offline preparation per circuit so the
+// per-chip benchmarks measure only the online flow.
+type flowFixture struct {
+	circuit *effitest.Circuit
+	plan    *effitest.Plan
+	td      float64
+}
+
+var (
+	fixtures   = map[string]*flowFixture{}
+	fixturesMu sync.Mutex
+)
+
+func fixture(b *testing.B, name string, cfg effitest.Config) *flowFixture {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	key := name + "/" + cfg.AlignMode.String()
+	if f, ok := fixtures[key]; ok {
+		return f
+	}
+	p, ok := effitest.ProfileByName(name)
+	if !ok {
+		b.Fatalf("unknown circuit %s", name)
+	}
+	c, err := effitest.Generate(p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := effitest.Prepare(c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &flowFixture{
+		circuit: c,
+		plan:    plan,
+		td:      effitest.PeriodQuantile(c, 2, 400, 0.8413),
+	}
+	fixtures[key] = f
+	return f
+}
+
+// BenchmarkFlowChip measures the complete online flow for one manufactured
+// chip: aligned delay test, prediction, configuration and final pass/fail.
+func BenchmarkFlowChip(b *testing.B) {
+	for _, name := range benchCircuits() {
+		b.Run(name, func(b *testing.B) {
+			f := fixture(b, name, effitest.DefaultConfig())
+			chip := effitest.SampleChip(f.circuit, 3, 0)
+			b.ResetTimer()
+			iters := 0
+			for i := 0; i < b.N; i++ {
+				out, err := f.plan.RunChip(chip, f.td)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = out.Iterations
+			}
+			b.ReportMetric(float64(iters), "tester_iters")
+		})
+	}
+}
+
+// BenchmarkAblationAlignSolver compares the three §3.3 alignment solvers:
+// the default weighted-median heuristic, the exact MILP without the paper's
+// binaries, and the faithful big-M ILP of Eqs. (7)–(14). All three produce
+// the same test behaviour (the MILPs provably, the heuristic near-optimally)
+// at very different compute cost.
+func BenchmarkAblationAlignSolver(b *testing.B) {
+	modes := []struct {
+		name string
+		mode effitest.AlignMode
+	}{
+		{"heuristic", effitest.AlignHeuristic},
+		{"fast-milp", effitest.AlignFastMILP},
+		{"paper-ilp", effitest.AlignPaperILP},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := effitest.DefaultConfig()
+			cfg.AlignMode = m.mode
+			f := fixture(b, "s9234", cfg)
+			chip := effitest.SampleChip(f.circuit, 3, 0)
+			b.ResetTimer()
+			iters := 0
+			for i := 0; i < b.N; i++ {
+				out, err := f.plan.RunChip(chip, f.td)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = out.Iterations
+			}
+			b.ReportMetric(float64(iters), "tester_iters")
+		})
+	}
+}
+
+// BenchmarkAblationAlignment quantifies what §3.3 buys at test time:
+// batched measurement of all paths with buffers frozen vs with delay
+// alignment.
+func BenchmarkAblationAlignment(b *testing.B) {
+	cfgBase := effitest.DefaultConfig()
+	f := fixture(b, "s13207", cfgBase)
+	all := make([]int, f.circuit.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	for _, align := range []bool{false, true} {
+		name := "frozen"
+		if align {
+			name = "aligned"
+		}
+		b.Run(name, func(b *testing.B) {
+			chip := effitest.SampleChip(f.circuit, 3, 0)
+			iters := 0
+			for i := 0; i < b.N; i++ {
+				ate := effitest.NewATE(chip, cfgBase.TesterResolution)
+				n, _, err := effitest.MultiplexTest(ate, f.circuit, all, effitest.NoHoldBounds, cfgBase, align)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = n
+			}
+			b.ReportMetric(float64(iters)/float64(len(all)), "iter_per_path")
+		})
+	}
+}
+
+// BenchmarkAblationSlotFill compares the flow with and without §3.2's
+// empty-slot filling.
+func BenchmarkAblationSlotFill(b *testing.B) {
+	for _, fill := range []bool{true, false} {
+		name := "fill"
+		if !fill {
+			name = "nofill"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := effitest.DefaultConfig()
+			cfg.FillSlots = fill
+			p, _ := effitest.ProfileByName("s13207")
+			c, err := effitest.Generate(p, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := effitest.Prepare(c, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			td := effitest.PeriodQuantile(c, 2, 400, 0.8413)
+			chip := effitest.SampleChip(c, 3, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.RunChip(chip, td); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(plan.NumTested()), "npt")
+		})
+	}
+}
+
+// BenchmarkPrepare measures the offline flow (Procedure 1 + multiplexing +
+// hold bounds), the paper's Tp column.
+func BenchmarkPrepare(b *testing.B) {
+	for _, name := range benchCircuits() {
+		b.Run(name, func(b *testing.B) {
+			p, _ := effitest.ProfileByName(name)
+			for i := 0; i < b.N; i++ {
+				// Fresh circuit per op: Prepare caches the covariance matrix
+				// on the circuit, and Tp should include that cost.
+				b.StopTimer()
+				c, err := effitest.Generate(p, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := effitest.Prepare(c, effitest.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

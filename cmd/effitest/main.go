@@ -1,0 +1,99 @@
+// Command effitest runs the full EffiTest flow on one benchmark circuit and
+// prints Table-1-style cost metrics plus yield for the chosen clock period.
+//
+// Usage:
+//
+//	effitest -circuit s9234 -chips 100 -seed 1 -quantile 0.8413
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"effitest"
+)
+
+func main() {
+	var (
+		name     = flag.String("circuit", "s9234", "benchmark circuit (see -list)")
+		list     = flag.Bool("list", false, "list available benchmark circuits and exit")
+		seed     = flag.Int64("seed", 1, "master random seed")
+		chips    = flag.Int("chips", 100, "number of simulated chips")
+		quantile = flag.Float64("quantile", 0.8413, "clock period as a quantile of the no-tuning critical delay (0.8413 = paper's T2)")
+		qchips   = flag.Int("quantile-chips", 2000, "Monte-Carlo chips for the period quantile")
+		align    = flag.String("align", "heuristic", "alignment solver: heuristic | fast-milp | paper-ilp | off")
+		eps      = flag.Float64("eps", 0, "delay-range termination threshold in ns (0 = default 0.002)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range effitest.Profiles() {
+			fmt.Printf("%-14s ns=%-5d ng=%-6d nb=%-3d np=%d\n", p.Name, p.NumFF, p.NumGates, p.NumBuffers, p.NumPaths)
+		}
+		return
+	}
+
+	profile, ok := effitest.ProfileByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown circuit %q; use -list\n", *name)
+		os.Exit(1)
+	}
+
+	cfg := effitest.DefaultConfig()
+	cfg.Seed = *seed
+	if *eps > 0 {
+		cfg.Eps = *eps
+	}
+	switch strings.ToLower(*align) {
+	case "heuristic":
+		cfg.AlignMode = effitest.AlignHeuristic
+	case "fast-milp":
+		cfg.AlignMode = effitest.AlignFastMILP
+	case "paper-ilp":
+		cfg.AlignMode = effitest.AlignPaperILP
+	case "off":
+		cfg.AlignMode = effitest.AlignOff
+	default:
+		fmt.Fprintf(os.Stderr, "unknown align mode %q\n", *align)
+		os.Exit(1)
+	}
+
+	c, err := effitest.Generate(profile, *seed)
+	fatal(err)
+	fmt.Printf("circuit %s: ns=%d ng=%d nb=%d np=%d  Tnominal=%.4f ns\n",
+		c.Name, c.NumFF, c.NumGates(), c.NumBuffers(), c.NumPaths(), c.TNominal)
+
+	plan, err := effitest.Prepare(c, cfg)
+	fatal(err)
+	fmt.Printf("offline: npt=%d (%.1f%% of np), %d groups, %d batches, Tp=%.2fs\n",
+		plan.NumTested(), 100*float64(plan.NumTested())/float64(c.NumPaths()),
+		len(plan.Groups), len(plan.Batches), plan.PrepDuration.Seconds())
+
+	td := effitest.PeriodQuantile(c, *seed+1000, *qchips, *quantile)
+	fmt.Printf("test period Td=%.4f ns (q%.4g of the no-tuning critical delay)\n", td, *quantile)
+
+	allChips := effitest.SampleChips(c, *seed+2000, *chips)
+	st, err := effitest.YieldProposed(plan, allChips, td)
+	fatal(err)
+
+	noBuf := effitest.YieldNoBuffer(allChips, td)
+	ideal := effitest.YieldIdeal(c, allChips, td)
+	fmt.Printf("\nper-chip test cost: ta=%.1f iterations (tv=%.2f per tested path)\n",
+		st.AvgIterations, st.AvgIterations/float64(plan.NumTested()))
+	fmt.Printf("runtimes: Tt=%.4fs (alignment)  Ts=%.4fs (configuration)\n",
+		st.AvgAlignTime.Seconds(), st.AvgConfigTime.Seconds())
+	fmt.Printf("\nyield over %d chips at Td:\n", *chips)
+	fmt.Printf("  without buffers:        %6.2f%%\n", 100*noBuf)
+	fmt.Printf("  proposed (EffiTest):    %6.2f%%  (%.0f%% of chips configured)\n", 100*st.Yield, 100*st.ConfiguredFrac)
+	fmt.Printf("  ideal measurement:      %6.2f%%\n", 100*ideal)
+	fmt.Printf("  yield drop vs ideal:    %6.2f%%\n", 100*(ideal-st.Yield))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "effitest:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+// Command efftables regenerates the paper's evaluation artifacts: Table 1
+// (test cost), Table 2 (yield at T1/T2), Figure 7 (yield with enlarged
+// random variation) and Figure 8 (iterations per path without statistical
+// prediction), printing measured rows next to the paper's published values.
+//
+// Usage:
+//
+//	efftables -what table1 -circuits s9234,s13207 -cost-chips 100
+//	efftables -what all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"effitest"
+	"effitest/internal/exp"
+)
+
+func main() {
+	var (
+		what     = flag.String("what", "all", "table1 | table2 | fig7 | fig8 | all")
+		circs    = flag.String("circuits", "all", "comma-separated circuit list or 'all'")
+		seed     = flag.Int64("seed", 1, "master random seed")
+		cost     = flag.Int("cost-chips", 100, "chips per circuit for Table 1 cost metrics")
+		yieldN   = flag.Int("yield-chips", 400, "chips per circuit for yield experiments")
+		fig8N    = flag.Int("fig8-chips", 3, "chips per circuit for Figure 8 (tests all np paths per chip)")
+		qchips   = flag.Int("quantile-chips", 2000, "chips for the T1/T2 quantile estimates")
+		maxBatch = flag.Int("fig8-max-batch", 24, "batch-size cap for the no-prediction runs")
+		jsonOut  = flag.String("json", "", "also write all measured rows as JSON to this file")
+		csvDir   = flag.String("csv", "", "also write table1.csv/table2.csv into this directory")
+	)
+	flag.Parse()
+
+	cfg := effitest.DefaultExpConfig()
+	cfg.Seed = *seed
+	cfg.CostChips = *cost
+	cfg.YieldChips = *yieldN
+	cfg.Fig8Chips = *fig8N
+	cfg.QuantileChips = *qchips
+	cfg.Fig8MaxBatch = *maxBatch
+	cfg.Core.Seed = *seed
+
+	profiles, err := exp.Profiles(splitList(*circs))
+	fatal(err)
+
+	report := &exp.Report{Seed: *seed}
+	run := func(kind string) {
+		switch kind {
+		case "table1":
+			for _, p := range profiles {
+				fmt.Fprintf(os.Stderr, "table1: %s...\n", p.Name)
+				r, err := exp.Table1(p, cfg)
+				fatal(err)
+				report.Table1 = append(report.Table1, r)
+			}
+			fmt.Print(exp.FormatTable1(report.Table1))
+		case "table2":
+			for _, p := range profiles {
+				fmt.Fprintf(os.Stderr, "table2: %s...\n", p.Name)
+				r, err := exp.Table2(p, cfg)
+				fatal(err)
+				report.Table2 = append(report.Table2, r)
+			}
+			fmt.Print(exp.FormatTable2(report.Table2))
+		case "fig7":
+			for _, p := range profiles {
+				fmt.Fprintf(os.Stderr, "fig7: %s...\n", p.Name)
+				r, err := exp.Fig7(p, cfg)
+				fatal(err)
+				report.Fig7 = append(report.Fig7, r)
+			}
+			fmt.Print(exp.FormatFig7(report.Fig7))
+		case "fig8":
+			for _, p := range profiles {
+				fmt.Fprintf(os.Stderr, "fig8: %s...\n", p.Name)
+				r, err := exp.Fig8(p, cfg)
+				fatal(err)
+				report.Fig8 = append(report.Fig8, r)
+			}
+			fmt.Print(exp.FormatFig8(report.Fig8))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", kind)
+			os.Exit(1)
+		}
+	}
+
+	if *what == "all" {
+		for _, k := range []string{"table1", "table2", "fig7", "fig8"} {
+			run(k)
+			fmt.Println()
+		}
+	} else {
+		run(*what)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		fatal(err)
+		fatal(report.WriteJSON(f))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	if *csvDir != "" {
+		if len(report.Table1) > 0 {
+			f, err := os.Create(*csvDir + "/table1.csv")
+			fatal(err)
+			fatal(exp.WriteTable1CSV(f, report.Table1))
+			fatal(f.Close())
+		}
+		if len(report.Table2) > 0 {
+			f, err := os.Create(*csvDir + "/table2.csv")
+			fatal(err)
+			fatal(exp.WriteTable2CSV(f, report.Table2))
+			fatal(f.Close())
+		}
+		fmt.Fprintf(os.Stderr, "wrote CSVs to %s\n", *csvDir)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" || s == "all" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "efftables:", err)
+		os.Exit(1)
+	}
+}

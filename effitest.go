@@ -1,0 +1,280 @@
+// Package effitest is a Go reproduction of "EffiTest: Efficient Delay Test
+// and Statistical Prediction for Configuring Post-silicon Tunable Buffers"
+// (Zhang, Li, Schlichtmann — DAC 2016).
+//
+// Post-silicon tunable clock buffers let each manufactured chip rebalance
+// timing budgets between pipeline stages after fabrication, recovering yield
+// lost to process variation — but configuring them needs per-chip path-delay
+// measurements, conventionally taken one path at a time by frequency
+// stepping on an expensive tester. EffiTest cuts that cost by more than 94%
+// with three techniques: statistical path selection + conditional-Gaussian
+// prediction (only ~2–20% of paths are measured), path test multiplexing
+// (batches of conflict-free paths share a clock period), and delay alignment
+// (the tuning buffers themselves are re-tuned during test so one frequency
+// step bisects many delay windows at once).
+//
+// This package is the public facade: it re-exports the circuit model and
+// benchmark generator, the manufactured-chip/tester simulator, the EffiTest
+// flow, and one-call runners for every table and figure of the paper's
+// evaluation. The implementation lives in internal/ packages (linear
+// algebra, statistics, LP/MILP solvers, graph algorithms, skew scheduling,
+// process-variation modeling, SSTA, the ATE simulator and the flow itself).
+//
+// Quick start:
+//
+//	profile, _ := effitest.ProfileByName("s9234")
+//	c, _ := effitest.Generate(profile, 1)
+//	plan, _ := effitest.Prepare(c, effitest.DefaultConfig())
+//	chip := effitest.SampleChip(c, 1, 0)
+//	out, _ := plan.RunChip(chip, td)
+package effitest
+
+import (
+	"io"
+
+	"effitest/internal/baseline"
+	"effitest/internal/circuit"
+	"effitest/internal/core"
+	"effitest/internal/exp"
+	"effitest/internal/skew"
+	"effitest/internal/ssta"
+	"effitest/internal/tester"
+	"effitest/internal/variation"
+	"effitest/internal/yield"
+)
+
+// Circuit model and benchmark generation.
+type (
+	// Circuit is a benchmark instance: flip-flops, gates on the variation
+	// grid, statistical timing paths and tunable-buffer placement.
+	Circuit = circuit.Circuit
+	// Profile holds a benchmark's published statistics (Table 1).
+	Profile = circuit.Profile
+	// Path is one combinational timing path with canonical max/min delays.
+	Path = circuit.Path
+	// Gate is a placed logic gate.
+	Gate = circuit.Gate
+	// GenConfig tunes the benchmark generator.
+	GenConfig = circuit.GenConfig
+	// VariationConfig parameterizes the spatial process-variation model.
+	VariationConfig = variation.Config
+	// Canon is a first-order canonical (linear) statistical delay form.
+	Canon = ssta.Canon
+)
+
+// Flow types.
+type (
+	// Config carries all EffiTest flow parameters (ε, correlation schedule,
+	// alignment solver mode, hold-yield target, ...).
+	Config = core.Config
+	// Plan is the offline per-circuit preparation (groups, batches, hold
+	// bounds).
+	Plan = core.Plan
+	// Group is one correlation group with its PCA selection.
+	Group = core.Group
+	// Bounds tracks per-path delay windows during and after test.
+	Bounds = core.Bounds
+	// ChipOutcome is the per-chip result of the online flow.
+	ChipOutcome = core.ChipOutcome
+	// HoldBounds carries the λ lower bounds of §3.5.
+	HoldBounds = core.HoldBounds
+	// AlignMode selects the alignment solver (heuristic, exact MILP,
+	// paper-faithful big-M ILP, or off).
+	AlignMode = core.AlignMode
+	// Chip is one manufactured die with realized delays.
+	Chip = tester.Chip
+	// ATE is the simulated tester session with iteration accounting.
+	ATE = tester.ATE
+)
+
+// Alignment and configuration solver modes.
+const (
+	AlignHeuristic = core.AlignHeuristic
+	AlignFastMILP  = core.AlignFastMILP
+	AlignPaperILP  = core.AlignPaperILP
+	AlignOff       = core.AlignOff
+
+	ConfigureScalable = core.ConfigureScalable
+	ConfigureMILP     = core.ConfigureMILP
+)
+
+// Skew scheduling (clock-tuning feasibility, the paper's Figure 2 machinery).
+type (
+	// Timing is one sequential arc with folded setup/hold bounds.
+	Timing = skew.Timing
+	// Buffers describes the tunable-buffer value space of a circuit.
+	Buffers = skew.Buffers
+)
+
+// Experiment harness types.
+type (
+	// ExpConfig parameterizes the table/figure runners.
+	ExpConfig = exp.Config
+	// Table1Row, Table2Row, Fig7Row, Fig8Row mirror the paper's results.
+	Table1Row = exp.Table1Row
+	Table2Row = exp.Table2Row
+	Fig7Row   = exp.Fig7Row
+	Fig8Row   = exp.Fig8Row
+)
+
+// Profiles returns the eight benchmark profiles of the paper's Table 1.
+func Profiles() []Profile { return circuit.Table1Profiles }
+
+// ProfileByName looks up a Table 1 benchmark profile.
+func ProfileByName(name string) (Profile, bool) { return circuit.ProfileByName(name) }
+
+// NewProfile builds a custom benchmark profile.
+func NewProfile(name string, ffs, gates, buffers, paths int) Profile {
+	return circuit.TinyProfile(name, ffs, gates, buffers, paths)
+}
+
+// Generate builds a deterministic benchmark circuit with default generator
+// settings.
+func Generate(p Profile, seed int64) (*Circuit, error) { return circuit.Generate(p, seed) }
+
+// GenerateWith builds a benchmark circuit with custom generator settings.
+func GenerateWith(p Profile, seed int64, cfg GenConfig) (*Circuit, error) {
+	return circuit.GenerateWith(p, seed, cfg)
+}
+
+// DefaultGenConfig returns the paper-calibrated generator configuration.
+func DefaultGenConfig() GenConfig { return circuit.DefaultGenConfig() }
+
+// WriteNetlist serializes a circuit to the text netlist format.
+func WriteNetlist(w io.Writer, c *Circuit) error { return circuit.WriteNetlist(w, c) }
+
+// ParseNetlist reads a circuit back from the text netlist format.
+func ParseNetlist(r io.Reader) (*Circuit, error) { return circuit.ParseNetlist(r) }
+
+// WriteDOT emits the circuit's timing graph in Graphviz DOT form.
+func WriteDOT(w io.Writer, c *Circuit) error { return circuit.WriteDOT(w, c) }
+
+// DefaultConfig returns the paper-aligned EffiTest flow configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Prepare runs the offline flow (Procedure 1, multiplexing, hold bounds).
+func Prepare(c *Circuit, cfg Config) (*Plan, error) { return core.Prepare(c, cfg) }
+
+// SampleChip manufactures one chip deterministically in (seed, index).
+func SampleChip(c *Circuit, seed int64, index int) *Chip { return tester.SampleChip(c, seed, index) }
+
+// SampleChips manufactures n chips.
+func SampleChips(c *Circuit, seed int64, n int) []*Chip { return tester.SampleChips(c, seed, n) }
+
+// NewATE opens a tester session on a chip with the given clock-period
+// resolution.
+func NewATE(ch *Chip, resolution float64) *ATE { return tester.NewATE(ch, resolution) }
+
+// MinPeriodUnconstrained returns the minimum clock period achievable with
+// unlimited skew — the maximum cycle mean of the setup delays (Figure 2's
+// 8 → 5.5 example).
+func MinPeriodUnconstrained(n int, arcs []Timing) (float64, bool) {
+	return skew.MinPeriodUnconstrained(n, arcs)
+}
+
+// FeasibleSkews returns buffer values meeting setup (period T) and hold
+// within continuous buffer ranges, or ok=false.
+func FeasibleSkews(T float64, arcs []Timing, b Buffers) ([]float64, bool) {
+	return skew.Feasible(T, arcs, b)
+}
+
+// FeasibleSkewsDiscrete is FeasibleSkews restricted exactly to the buffer
+// lattices.
+func FeasibleSkewsDiscrete(T float64, arcs []Timing, b Buffers) ([]float64, bool) {
+	return skew.FeasibleDiscrete(T, arcs, b)
+}
+
+// UniformBuffers builds a buffer space with identical ranges on the given
+// flip-flops.
+func UniformBuffers(n int, buffered []int, lo, hi float64, steps int) Buffers {
+	return skew.Uniform(n, buffered, lo, hi, steps)
+}
+
+// PeriodQuantile estimates the q-quantile of the no-tuning critical delay
+// (used to calibrate the paper's T1/T2).
+func PeriodQuantile(c *Circuit, seed int64, chips int, q float64) float64 {
+	return yield.PeriodQuantile(c, seed, chips, q)
+}
+
+// YieldNoBuffer, YieldIdeal and YieldProposed evaluate the three regimes the
+// paper compares.
+func YieldNoBuffer(chips []*Chip, T float64) float64 { return yield.NoBuffer(chips, T) }
+
+// YieldIdeal is the yield with perfect per-chip delay measurement.
+func YieldIdeal(c *Circuit, chips []*Chip, T float64) float64 { return yield.Ideal(c, chips, T) }
+
+// YieldProposed runs the full EffiTest flow on every chip.
+func YieldProposed(plan *Plan, chips []*Chip, T float64) (yield.ProposedStats, error) {
+	return yield.Proposed(plan, chips, T)
+}
+
+// YieldCurvePoint is one sample of a yield-versus-period sweep.
+type YieldCurvePoint = yield.CurvePoint
+
+// YieldCurve sweeps the clock period and evaluates no-buffer and
+// ideal-tuning yields at each step.
+func YieldCurve(c *Circuit, chips []*Chip, loT, hiT float64, steps int) []YieldCurvePoint {
+	return yield.Curve(c, chips, loT, hiT, steps)
+}
+
+// ComputeHoldBounds derives the §3.5 hold-time tuning bounds λ by
+// Monte-Carlo sampling of the short-path delays.
+func ComputeHoldBounds(c *Circuit, cfg Config) (*HoldBounds, error) {
+	return core.ComputeHoldBounds(c, cfg)
+}
+
+// HoldYieldEstimate replays the sampled hold quantities against bounds and
+// returns the covered fraction (the Eq. 20 yield).
+func HoldYieldEstimate(c *Circuit, hb *HoldBounds, cfg Config) float64 {
+	return core.HoldYieldEstimate(c, hb, cfg)
+}
+
+// InitBounds builds the μ±3σ starting delay windows for every path.
+func InitBounds(c *Circuit) *Bounds { return core.InitBounds(c) }
+
+// NoHoldBounds is a hold-bound function imposing no constraints (for
+// baseline studies).
+func NoHoldBounds(from, to int) float64 { return core.NoHoldBounds(from, to) }
+
+// PathwiseTest measures the given paths one at a time by binary-search
+// frequency stepping (the prior-art baseline of Table 1's t′a column). It
+// returns the total tester iterations and the measured windows.
+func PathwiseTest(ate *ATE, c *Circuit, paths []int, cfg Config) (int, *Bounds, error) {
+	return baseline.Pathwise(ate, c, paths, cfg)
+}
+
+// MultiplexTest measures the given paths in conflict-free batches, with or
+// without delay alignment by the tuning buffers (Figure 8's second and third
+// cases).
+func MultiplexTest(ate *ATE, c *Circuit, paths []int, lambda func(from, to int) float64, cfg Config, align bool) (int, *Bounds, error) {
+	return baseline.Multiplex(ate, c, paths, lambda, cfg, align)
+}
+
+// DefaultExpConfig returns the experiment-harness defaults.
+func DefaultExpConfig() ExpConfig { return exp.DefaultConfig() }
+
+// RunTable1, RunTable2, RunFig7 and RunFig8 regenerate one row/bar-group of
+// the corresponding table or figure.
+func RunTable1(p Profile, cfg ExpConfig) (Table1Row, error) { return exp.Table1(p, cfg) }
+
+// RunTable2 regenerates one row of the paper's Table 2.
+func RunTable2(p Profile, cfg ExpConfig) (Table2Row, error) { return exp.Table2(p, cfg) }
+
+// RunFig7 regenerates one bar group of the paper's Figure 7.
+func RunFig7(p Profile, cfg ExpConfig) (Fig7Row, error) { return exp.Fig7(p, cfg) }
+
+// RunFig8 regenerates one bar group of the paper's Figure 8.
+func RunFig8(p Profile, cfg ExpConfig) (Fig8Row, error) { return exp.Fig8(p, cfg) }
+
+// FormatTable1, FormatTable2, FormatFig7 and FormatFig8 render measured rows
+// side by side with the paper's published numbers.
+func FormatTable1(rows []Table1Row) string { return exp.FormatTable1(rows) }
+
+// FormatTable2 renders Table 2 rows.
+func FormatTable2(rows []Table2Row) string { return exp.FormatTable2(rows) }
+
+// FormatFig7 renders the Figure 7 series.
+func FormatFig7(rows []Fig7Row) string { return exp.FormatFig7(rows) }
+
+// FormatFig8 renders the Figure 8 series.
+func FormatFig8(rows []Fig8Row) string { return exp.FormatFig8(rows) }

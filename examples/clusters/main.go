@@ -1,0 +1,84 @@
+// Clusters: the paper's Figure 5 scenario — physically clustered paths are
+// highly correlated, so measuring a handful of representatives pins down the
+// rest by conditional-Gaussian prediction (Eqs. 4–5). This example measures
+// the selected paths on one chip, predicts the others, and compares the
+// predictions against the chip's true (hidden) delays.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"effitest"
+)
+
+func main() {
+	// Two clusters of critical paths around 6 tuning buffers.
+	profile := effitest.NewProfile("fig5", 60, 800, 6, 90)
+	c, err := effitest.Generate(profile, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := effitest.DefaultConfig()
+	plan, err := effitest.Prepare(c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit: %d paths in %d correlation groups; %d will be measured\n\n",
+		c.NumPaths(), len(plan.Groups), plan.NumTested())
+
+	for gi, g := range plan.Groups {
+		if len(g.Paths) < 2 {
+			continue
+		}
+		fmt.Printf("group %d: %d paths (threshold %.2f), %d principal components, measure %v\n",
+			gi, len(g.Paths), g.Threshold, g.NumPCs, g.Selected)
+	}
+
+	// Manufacture one chip and run the aligned delay test on the plan's
+	// batches (this also demonstrates the per-chip tester budget).
+	chip := effitest.SampleChip(c, 77, 0)
+	td := effitest.PeriodQuantile(c, 99, 800, 0.8413)
+	out, err := plan.RunChip(chip, td)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntester spent %d frequency-step iterations for %d measured paths\n",
+		out.Iterations, plan.NumTested())
+
+	// Compare predicted windows against the hidden truth for the untested
+	// paths.
+	tested := map[int]bool{}
+	for _, p := range plan.Tested {
+		tested[p] = true
+	}
+	var worst float64
+	var inside, total int
+	fmt.Println("\nprediction check on untested paths (first 10 shown):")
+	shown := 0
+	for p := 0; p < c.NumPaths(); p++ {
+		if tested[p] {
+			continue
+		}
+		lo, hi := out.Bounds.Lo[p], out.Bounds.Hi[p]
+		truth := chip.TrueMax[p]
+		mid := (lo + hi) / 2
+		errAbs := math.Abs(mid - truth)
+		if errAbs > worst {
+			worst = errAbs
+		}
+		total++
+		ok := truth >= lo && truth <= hi
+		if ok {
+			inside++
+		}
+		if shown < 10 {
+			fmt.Printf("  path %3d: predicted [%.4f, %.4f]  true %.4f  |mid-err| %.4f ns  bracketed=%v\n",
+				p, lo, hi, truth, errAbs, ok)
+			shown++
+		}
+	}
+	fmt.Printf("\n%d/%d untested paths bracketed by their predicted windows; worst midpoint error %.4f ns\n",
+		inside, total, worst)
+}

@@ -1,0 +1,54 @@
+// Quickstart: generate a small circuit, run the complete EffiTest flow on a
+// handful of manufactured chips, and print what happened at each stage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"effitest"
+)
+
+func main() {
+	// A small custom benchmark: 40 flip-flops, 400 gates, 4 tuning buffers,
+	// 48 critical paths.
+	profile := effitest.NewProfile("demo", 40, 400, 4, 48)
+	c, err := effitest.Generate(profile, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %q: %d FFs, %d gates, %d buffers, %d paths, nominal clock %.3f ns\n",
+		c.Name, c.NumFF, c.NumGates(), c.NumBuffers(), c.NumPaths(), c.TNominal)
+
+	// Offline preparation: statistical path selection (Procedure 1), test
+	// multiplexing (§3.2) and hold-time tuning bounds (§3.5).
+	cfg := effitest.DefaultConfig()
+	plan, err := effitest.Prepare(c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline plan: test %d of %d paths (%.0f%%) in %d batches, %d correlation groups\n",
+		plan.NumTested(), c.NumPaths(),
+		100*float64(plan.NumTested())/float64(c.NumPaths()),
+		len(plan.Batches), len(plan.Groups))
+
+	// Pick the test clock period: the 84.13% quantile of the no-tuning
+	// critical delay (the paper's T2 calibration).
+	td := effitest.PeriodQuantile(c, 99, 1000, 0.8413)
+	fmt.Printf("test period Td = %.4f ns\n\n", td)
+
+	// Run the online flow on ten chips.
+	for i := 0; i < 10; i++ {
+		chip := effitest.SampleChip(c, 1234, i)
+		out, err := plan.RunChip(chip, td)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "FAIL"
+		if out.Passed {
+			verdict = "PASS"
+		}
+		fmt.Printf("chip %2d: %3d tester iterations, configured=%5v, final test %s (critical delay %.4f ns)\n",
+			i, out.Iterations, out.Configured, verdict, chip.CriticalDelay())
+	}
+}

@@ -1,0 +1,50 @@
+// Yieldcurve: a shmoo-style sweep of manufacturing yield versus clock
+// period, with and without post-silicon tuning. The horizontal gap between
+// the two curves is the frequency the tuning buffers buy; the vertical gap
+// is the yield they recover at a fixed target period.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"effitest"
+)
+
+func main() {
+	profile := effitest.NewProfile("curve-demo", 48, 600, 6, 60)
+	c, err := effitest.Generate(profile, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chips := effitest.SampleChips(c, 77, 400)
+	lo := effitest.PeriodQuantile(c, 9, 1000, 0.02)
+	hi := effitest.PeriodQuantile(c, 9, 1000, 0.995)
+	curve := effitest.YieldCurve(c, chips, lo, hi, 16)
+
+	fmt.Printf("yield vs clock period for %q (%d chips)\n\n", c.Name, len(chips))
+	fmt.Printf("%8s  %9s  %9s   %s\n", "T (ns)", "no tuning", "ideal", "")
+	for _, pt := range curve {
+		fmt.Printf("%8.4f  %8.1f%%  %8.1f%%   %s\n",
+			pt.T, 100*pt.NoBuffer, 100*pt.Ideal, bar(pt.NoBuffer, pt.Ideal))
+	}
+	fmt.Println("\nlegend: '.' yield without buffers, '+' additional yield from ideal tuning")
+
+	// Quantify the buyback at the paper's T1 (50% base yield).
+	t1 := effitest.PeriodQuantile(c, 9, 1000, 0.5)
+	nb := effitest.YieldNoBuffer(chips, t1)
+	id := effitest.YieldIdeal(c, chips, t1)
+	fmt.Printf("\nat T1 = %.4f ns: %.1f%% -> %.1f%% (+%.1f points from tuning)\n",
+		t1, 100*nb, 100*id, 100*(id-nb))
+}
+
+func bar(noBuf, ideal float64) string {
+	const width = 50
+	n := int(noBuf * width)
+	i := int(ideal * width)
+	if i < n {
+		i = n
+	}
+	return strings.Repeat(".", n) + strings.Repeat("+", i-n)
+}

@@ -1,0 +1,73 @@
+// Package baseline implements the comparison methods of the paper's
+// evaluation: path-wise frequency stepping (the prior art of [2, 6, 8, 9],
+// Table 1's t′a/t′v columns) and test multiplexing without delay alignment
+// (Figure 8's middle case).
+package baseline
+
+import (
+	"effitest/internal/circuit"
+	"effitest/internal/core"
+	"effitest/internal/tester"
+)
+
+// Pathwise measures every given path individually by binary search between
+// its μ±3σ bounds with buffers left at zero — one frequency step per
+// iteration, one path at a time. It returns the total tester iterations and
+// the final bounds.
+func Pathwise(ate *tester.ATE, c *circuit.Circuit, paths []int, cfg core.Config) (int, *core.Bounds, error) {
+	b := core.InitBounds(c)
+	zeros := make([]float64, c.NumFF)
+	iters := 0
+	for _, p := range paths {
+		guard := 0
+		for b.Width(p) >= cfg.Eps {
+			T := (b.Lo[p] + b.Hi[p]) / 2
+			applied, pass, err := ate.Step(T, zeros, []int{p})
+			if err != nil {
+				return iters, b, err
+			}
+			iters++
+			if pass[0] {
+				if applied < b.Hi[p] {
+					b.Hi[p] = applied
+				}
+			} else {
+				if applied > b.Lo[p] {
+					b.Lo[p] = applied
+				}
+			}
+			if guard++; guard > 10*cfg.MaxIterPerPath {
+				// Resolution-limited window; accept what we have.
+				break
+			}
+		}
+	}
+	return iters, b, nil
+}
+
+// Multiplex runs batched frequency stepping over all the given paths without
+// statistical prediction. With align=false the buffers stay at zero (the
+// clock period is still chosen as the weighted median of range centers);
+// with align=true the full §3.3 delay alignment is used. This reproduces
+// Figure 8's second and third cases.
+func Multiplex(ate *tester.ATE, c *circuit.Circuit, paths []int, lambda core.LambdaFunc, cfg core.Config, align bool) (int, *core.Bounds, error) {
+	runCfg := cfg
+	if align {
+		if runCfg.AlignMode == core.AlignOff {
+			runCfg.AlignMode = core.AlignHeuristic
+		}
+	} else {
+		runCfg.AlignMode = core.AlignOff
+	}
+	b := core.InitBounds(c)
+	batches := core.FormBatches(c, paths, runCfg)
+	total := 0
+	for _, batch := range batches {
+		iters, _, err := core.RunBatchTest(ate, c, batch, b, lambda, runCfg)
+		if err != nil {
+			return total, b, err
+		}
+		total += iters
+	}
+	return total, b, nil
+}

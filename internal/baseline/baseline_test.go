@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"effitest/internal/circuit"
+	"effitest/internal/core"
+	"effitest/internal/tester"
+)
+
+func tiny(t *testing.T, seed int64) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.Generate(circuit.TinyProfile("bl", 24, 200, 3, 30), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func allPaths(c *circuit.Circuit) []int {
+	out := make([]int, c.NumPaths())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestPathwiseConvergesAndBrackets(t *testing.T) {
+	c := tiny(t, 1)
+	cfg := core.DefaultConfig()
+	ch := tester.SampleChip(c, 5, 0)
+	ate := tester.NewATE(ch, cfg.TesterResolution)
+	iters, b, err := Pathwise(ate, c, allPaths(c), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != ate.Iterations {
+		t.Fatalf("iteration accounting mismatch: %d vs %d", iters, ate.Iterations)
+	}
+	for p := range c.Paths {
+		if b.Width(p) >= cfg.Eps {
+			t.Fatalf("path %d not resolved", p)
+		}
+		truth := ch.TrueMax[p]
+		mu, sd := c.Paths[p].Max.Mean, c.Paths[p].Max.Sigma()
+		if truth < mu-3*sd || truth > mu+3*sd {
+			continue
+		}
+		if truth < b.Lo[p]-cfg.TesterResolution-1e-9 || truth > b.Hi[p]+cfg.TesterResolution+1e-9 {
+			t.Fatalf("path %d: truth %v outside [%v, %v]", p, truth, b.Lo[p], b.Hi[p])
+		}
+	}
+}
+
+func TestPathwiseIterationsMatchBinarySearch(t *testing.T) {
+	c := tiny(t, 2)
+	cfg := core.DefaultConfig()
+	ch := tester.SampleChip(c, 7, 0)
+	ate := tester.NewATE(ch, cfg.TesterResolution)
+	iters, _, err := Pathwise(ate, c, allPaths(c), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ≈ np · log2(6σ/ε) iterations.
+	perPath := float64(iters) / float64(c.NumPaths())
+	expect := math.Log2(6 * c.Paths[0].Max.Sigma() / cfg.Eps)
+	if perPath < expect-2 || perPath > expect+2 {
+		t.Fatalf("per-path iterations %v far from binary-search expectation %v", perPath, expect)
+	}
+}
+
+func TestMultiplexBeatsPathwise(t *testing.T) {
+	// The Figure 8 ordering: path-wise > multiplexing > multiplexing with
+	// alignment.
+	c := tiny(t, 3)
+	cfg := core.DefaultConfig()
+	var sumPW, sumMux, sumAl int
+	for i := 0; i < 3; i++ {
+		ch := tester.SampleChip(c, 11, i)
+		a1 := tester.NewATE(ch, cfg.TesterResolution)
+		pw, _, err := Pathwise(a1, c, allPaths(c), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2 := tester.NewATE(ch, cfg.TesterResolution)
+		mux, _, err := Multiplex(a2, c, allPaths(c), core.NoHoldBounds, cfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a3 := tester.NewATE(ch, cfg.TesterResolution)
+		al, _, err := Multiplex(a3, c, allPaths(c), core.NoHoldBounds, cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumPW += pw
+		sumMux += mux
+		sumAl += al
+	}
+	if sumMux >= sumPW {
+		t.Fatalf("multiplexing (%d) did not beat path-wise (%d)", sumMux, sumPW)
+	}
+	if sumAl > sumMux {
+		t.Fatalf("alignment (%d) worse than plain multiplexing (%d)", sumAl, sumMux)
+	}
+}
+
+func TestMultiplexBoundsStillBracket(t *testing.T) {
+	c := tiny(t, 4)
+	cfg := core.DefaultConfig()
+	ch := tester.SampleChip(c, 13, 0)
+	ate := tester.NewATE(ch, cfg.TesterResolution)
+	_, b, err := Multiplex(ate, c, allPaths(c), core.NoHoldBounds, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range c.Paths {
+		truth := ch.TrueMax[p]
+		mu, sd := c.Paths[p].Max.Mean, c.Paths[p].Max.Sigma()
+		if truth < mu-3*sd || truth > mu+3*sd {
+			continue
+		}
+		if truth < b.Lo[p]-cfg.TesterResolution-1e-9 || truth > b.Hi[p]+cfg.TesterResolution+1e-9 {
+			t.Fatalf("path %d: truth escaped window", p)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package circuit models the timing view EffiTest consumes: flip-flops,
+// logic gates placed on the variation grid, combinational timing paths with
+// statistical max/min delays in canonical form, and post-silicon tunable
+// buffer placement. It also provides a seeded benchmark generator that
+// reproduces the published per-circuit statistics of the paper's Table 1
+// (flip-flop/gate/buffer/path counts for the ISCAS89 and TAU13 circuits) —
+// see DESIGN.md for why this substitution preserves the algorithms' inputs.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"effitest/internal/buffers"
+	"effitest/internal/skew"
+	"effitest/internal/ssta"
+	"effitest/internal/variation"
+)
+
+// Gate is one logic gate: a nominal delay at a grid location.
+type Gate struct {
+	ID           int
+	CellX, CellY int
+	Nominal      float64 // ns
+}
+
+// Path is a combinational timing path between two flip-flops. Max is the
+// canonical max-delay D̄ij with the sink setup time folded in (the paper's
+// Dij); Min is the canonical min-delay d_ij used for hold analysis. MinScale
+// records the generator's short-path scale factor so netlists round-trip.
+type Path struct {
+	ID       int
+	From, To int
+	Gates    []int
+	Cluster  int
+	MinScale float64
+	Max      ssta.Canon
+	Min      ssta.Canon
+}
+
+// Circuit is a complete benchmark instance.
+type Circuit struct {
+	Name     string
+	NumFF    int
+	Gates    []Gate
+	Paths    []Path
+	Buffered []int // flip-flop ids carrying tuning buffers, ascending
+
+	// Buf describes the buffer value space (ranges + lattice); Devices is
+	// the scan-chain device view of the same buffers.
+	Buf     skew.Buffers
+	Devices buffers.Chain
+
+	// Exclusive lists path-id pairs that ATPG cannot sensitize together
+	// (logic masking); they must not share a test batch.
+	Exclusive [][2]int
+
+	// TNominal is the nominal (pre-tuning) critical-path delay estimate used
+	// to size buffer ranges (τ = TNominal/8 per the paper's setup).
+	TNominal float64
+	// SetupTime and HoldTime are the uniform FF setup/hold times folded into
+	// the path delay bounds.
+	SetupTime, HoldTime float64
+
+	// Model is the process-variation model whose factor basis all canonical
+	// forms share.
+	Model *variation.Model
+
+	covCache *covCacheT
+}
+
+type covCacheT struct {
+	cov  [][]float64
+	corr [][]float64
+}
+
+// NumPaths returns the number of timing paths.
+func (c *Circuit) NumPaths() int { return len(c.Paths) }
+
+// NumGates returns the number of gates.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumBuffers returns the number of tunable buffers.
+func (c *Circuit) NumBuffers() int { return len(c.Buffered) }
+
+// MaxCanons returns the max-delay canonical forms of all paths, in path
+// order (shared backing with the circuit; callers must not modify).
+func (c *Circuit) MaxCanons() []ssta.Canon {
+	out := make([]ssta.Canon, len(c.Paths))
+	for i := range c.Paths {
+		out[i] = c.Paths[i].Max
+	}
+	return out
+}
+
+// Means returns the mean max delay per path.
+func (c *Circuit) Means() []float64 {
+	out := make([]float64, len(c.Paths))
+	for i := range c.Paths {
+		out[i] = c.Paths[i].Max.Mean
+	}
+	return out
+}
+
+// Cov returns the covariance of two paths' max delays (including private
+// variance on the diagonal).
+func (c *Circuit) Cov(i, j int) float64 {
+	v := ssta.Cov(c.Paths[i].Max, c.Paths[j].Max)
+	if i == j {
+		v += c.Paths[i].Max.Rand * c.Paths[i].Max.Rand
+	}
+	return v
+}
+
+// CovMatrix returns the full path-delay covariance matrix as row slices,
+// computed once and cached.
+func (c *Circuit) CovMatrix() [][]float64 {
+	c.ensureCov()
+	return c.covCache.cov
+}
+
+// CorrMatrix returns the full path-delay correlation matrix, cached.
+func (c *Circuit) CorrMatrix() [][]float64 {
+	c.ensureCov()
+	return c.covCache.corr
+}
+
+func (c *Circuit) ensureCov() {
+	if c.covCache != nil {
+		return
+	}
+	n := len(c.Paths)
+	cov := make([][]float64, n)
+	for i := range cov {
+		cov[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := c.Cov(i, j)
+			cov[i][j] = v
+			cov[j][i] = v
+		}
+	}
+	corr := make([][]float64, n)
+	sd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sd[i] = math.Sqrt(cov[i][i])
+		corr[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				corr[i][j] = 1
+			} else if sd[i] > 0 && sd[j] > 0 {
+				corr[i][j] = cov[i][j] / (sd[i] * sd[j])
+			}
+		}
+	}
+	c.covCache = &covCacheT{cov: cov, corr: corr}
+}
+
+// IsBuffered reports whether flip-flop ff carries a tuning buffer.
+func (c *Circuit) IsBuffered(ff int) bool {
+	return ff >= 0 && ff < c.NumFF && c.Buf.Buffered[ff]
+}
+
+// HoldBoundMean returns the mean of the paper's d_ij = h_j - d_ij(min) for
+// path p: the statistical quantity sampled when computing hold-time tuning
+// bounds λ.
+func (c *Circuit) HoldBoundMean(p int) float64 {
+	return c.HoldTime - c.Paths[p].Min.Mean
+}
+
+// WithInflatedSigma returns a copy of the circuit in which every path's
+// max-delay standard deviation is inflated by the given factor without
+// changing any path-to-path covariance — the paper's Figure 7 experiment
+// ("we manually increased the standard deviations of all delays by 10%.
+// Since we did not change the covariance matrix ... this change led to a
+// large increase in the purely random parts"). Only the private Rand terms
+// grow.
+func (c *Circuit) WithInflatedSigma(factor float64) (*Circuit, error) {
+	if factor < 1 {
+		return nil, errors.New("circuit: inflation factor must be >= 1")
+	}
+	out := *c
+	out.covCache = nil
+	out.Paths = make([]Path, len(c.Paths))
+	copy(out.Paths, c.Paths)
+	for i := range out.Paths {
+		p := &out.Paths[i]
+		v := p.Max.Var()
+		target := factor * factor * v
+		corrPart := v - p.Max.Rand*p.Max.Rand
+		newRand := math.Sqrt(target - corrPart)
+		mx := p.Max
+		p.Max = ssta.Canon{Mean: mx.Mean, Coef: mx.Coef, Rand: newRand}
+	}
+	return &out, nil
+}
+
+// Validate checks structural invariants; generators and parsers run it
+// before returning a circuit.
+func (c *Circuit) Validate() error {
+	if c.NumFF <= 0 {
+		return errors.New("circuit: no flip-flops")
+	}
+	if len(c.Buf.Buffered) != c.NumFF {
+		return fmt.Errorf("circuit: buffer mask length %d != %d FFs", len(c.Buf.Buffered), c.NumFF)
+	}
+	seen := make(map[int]bool, len(c.Buffered))
+	for _, b := range c.Buffered {
+		if b < 0 || b >= c.NumFF {
+			return fmt.Errorf("circuit: buffered FF %d out of range", b)
+		}
+		if seen[b] {
+			return fmt.Errorf("circuit: duplicate buffer at FF %d", b)
+		}
+		seen[b] = true
+		if !c.Buf.Buffered[b] {
+			return fmt.Errorf("circuit: FF %d listed buffered but mask disagrees", b)
+		}
+	}
+	for i, g := range c.Gates {
+		if g.ID != i {
+			return fmt.Errorf("circuit: gate %d has id %d", i, g.ID)
+		}
+		if g.Nominal <= 0 {
+			return fmt.Errorf("circuit: gate %d has non-positive delay", i)
+		}
+	}
+	basis := 0
+	if c.Model != nil {
+		basis = c.Model.BasisSize()
+	}
+	for i, p := range c.Paths {
+		if p.ID != i {
+			return fmt.Errorf("circuit: path %d has id %d", i, p.ID)
+		}
+		if p.From == p.To {
+			return fmt.Errorf("circuit: path %d is a self-loop at FF %d", i, p.From)
+		}
+		if p.From < 0 || p.From >= c.NumFF || p.To < 0 || p.To >= c.NumFF {
+			return fmt.Errorf("circuit: path %d endpoints out of range", i)
+		}
+		if !c.IsBuffered(p.From) && !c.IsBuffered(p.To) {
+			return fmt.Errorf("circuit: path %d touches no buffer; its delay is not required", i)
+		}
+		for _, g := range p.Gates {
+			if g < 0 || g >= len(c.Gates) {
+				return fmt.Errorf("circuit: path %d references gate %d", i, g)
+			}
+		}
+		if basis > 0 && len(p.Max.Coef) != basis {
+			return fmt.Errorf("circuit: path %d canonical basis %d != model %d", i, len(p.Max.Coef), basis)
+		}
+		if p.Max.Mean <= 0 {
+			return fmt.Errorf("circuit: path %d has non-positive mean delay", i)
+		}
+		if p.Min.Mean > p.Max.Mean {
+			return fmt.Errorf("circuit: path %d min delay exceeds max", i)
+		}
+	}
+	for _, e := range c.Exclusive {
+		if e[0] < 0 || e[0] >= len(c.Paths) || e[1] < 0 || e[1] >= len(c.Paths) || e[0] == e[1] {
+			return fmt.Errorf("circuit: bad exclusive pair %v", e)
+		}
+	}
+	if c.TNominal <= 0 {
+		return errors.New("circuit: non-positive nominal period")
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the timing graph in Graphviz DOT form: flip-flops as nodes
+// (buffered ones double-circled and labeled with their tuning range), paths
+// as edges labeled with the nominal max delay. Clusters group by the
+// generator's cluster id. Intended for inspection of small circuits;
+// rendering a 3000-path graph is Graphviz's problem, not ours.
+func WriteDOT(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", c.Name)
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [shape=circle, fontsize=10];")
+
+	// Only emit FFs that appear on some path (benchmarks have many idle
+	// FFs).
+	used := map[int]bool{}
+	for i := range c.Paths {
+		used[c.Paths[i].From] = true
+		used[c.Paths[i].To] = true
+	}
+	for ff := 0; ff < c.NumFF; ff++ {
+		if !used[ff] {
+			continue
+		}
+		if c.IsBuffered(ff) {
+			fmt.Fprintf(bw, "  ff%d [shape=doublecircle, label=\"FF%d\\n[%.3f,%.3f]\"];\n",
+				ff, ff, c.Buf.Lo[ff], c.Buf.Hi[ff])
+		} else {
+			fmt.Fprintf(bw, "  ff%d [label=\"FF%d\"];\n", ff, ff)
+		}
+	}
+	for i := range c.Paths {
+		p := &c.Paths[i]
+		fmt.Fprintf(bw, "  ff%d -> ff%d [label=\"p%d: %.3f\", fontsize=8];\n",
+			p.From, p.To, p.ID, p.Max.Mean)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,36 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	c := tinyCircuit(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT document")
+	}
+	// Every buffered FF on a path appears double-circled.
+	for _, b := range c.Buffered {
+		onPath := false
+		for i := range c.Paths {
+			if c.Paths[i].From == b || c.Paths[i].To == b {
+				onPath = true
+				break
+			}
+		}
+		if onPath && !strings.Contains(out, "doublecircle") {
+			t.Fatal("buffered FFs should be double-circled")
+		}
+	}
+	// One edge per path.
+	if got := strings.Count(out, "->"); got != c.NumPaths() {
+		t.Fatalf("%d edges for %d paths", got, c.NumPaths())
+	}
+}

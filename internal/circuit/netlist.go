@@ -1,0 +1,289 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"effitest/internal/buffers"
+	"effitest/internal/skew"
+	"effitest/internal/ssta"
+	"effitest/internal/variation"
+)
+
+// The netlist format is a line-oriented text form that captures circuit
+// structure (FFs, gates with placement, paths, buffers, exclusions) plus the
+// variation-model configuration. Statistical delay forms are derived data:
+// the parser reconstructs every canonical form from the gates, so a
+// write/parse round trip reproduces the circuit exactly.
+
+const netlistHeader = "effitest-netlist v1"
+
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteNetlist serializes the circuit. Only the default grid variation
+// model is serializable; quad-tree models are a programmatic option.
+func WriteNetlist(w io.Writer, c *Circuit) error {
+	cfg := c.Model.Cfg
+	if cfg.Kind != variation.KindGrid {
+		return fmt.Errorf("netlist: only the grid variation model is serializable (got kind %d)", cfg.Kind)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, netlistHeader)
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	fmt.Fprintf(bw, "ffs %d\n", c.NumFF)
+	fmt.Fprintf(bw, "setup %s\n", ff(c.SetupTime))
+	fmt.Fprintf(bw, "hold %s\n", ff(c.HoldTime))
+	fmt.Fprintf(bw, "tnominal %s\n", ff(c.TNominal))
+	fmt.Fprintf(bw, "variation %d %d %s %s %s %s %s %s %s %s %s\n",
+		cfg.GridW, cfg.GridH,
+		ff(cfg.SigmaL), ff(cfg.SigmaTox), ff(cfg.SigmaVth),
+		ff(cfg.CorrGlobal), ff(cfg.CorrDecay),
+		ff(cfg.SensL), ff(cfg.SensTox), ff(cfg.SensVth), ff(cfg.SigmaRand))
+	for i, b := range c.Buffered {
+		d := c.Devices.Devices[i]
+		fmt.Fprintf(bw, "buffer %d %s %s %d\n", b, ff(d.Lo), ff(d.Hi), d.Steps)
+	}
+	for _, g := range c.Gates {
+		fmt.Fprintf(bw, "gate %d %d %d %s\n", g.ID, g.CellX, g.CellY, ff(g.Nominal))
+	}
+	for _, p := range c.Paths {
+		ids := make([]string, len(p.Gates))
+		for i, g := range p.Gates {
+			ids[i] = strconv.Itoa(g)
+		}
+		fmt.Fprintf(bw, "path %d %d %d %d %s %s\n",
+			p.ID, p.From, p.To, p.Cluster, ff(p.MinScale), strings.Join(ids, ","))
+	}
+	for _, e := range c.Exclusive {
+		fmt.Fprintf(bw, "exclusive %d %d\n", e[0], e[1])
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// ParseNetlist reads a circuit back from the text form, reconstructing all
+// statistical delay forms from the gates and variation model.
+func ParseNetlist(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			ln := strings.TrimSpace(sc.Text())
+			if ln == "" || strings.HasPrefix(ln, "#") {
+				continue
+			}
+			return ln, true
+		}
+		return "", false
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("netlist line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	ln, ok := next()
+	if !ok || ln != netlistHeader {
+		return nil, fail("missing header %q", netlistHeader)
+	}
+
+	c := &Circuit{}
+	var cfg variation.Config
+	var haveVar bool
+	var bufFF []int
+	var bufDev []buffers.Device
+	type rawPath struct {
+		id, from, to, cluster int
+		minScale              float64
+		gates                 []int
+	}
+	var rawPaths []rawPath
+
+	for {
+		ln, ok := next()
+		if !ok {
+			return nil, fail("missing end marker")
+		}
+		fields := strings.Fields(ln)
+		switch fields[0] {
+		case "end":
+			goto done
+		case "circuit":
+			if len(fields) != 2 {
+				return nil, fail("circuit wants 1 arg")
+			}
+			c.Name = fields[1]
+		case "ffs":
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad ff count: %v", err)
+			}
+			c.NumFF = v
+		case "setup", "hold", "tnominal":
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fail("bad %s: %v", fields[0], err)
+			}
+			switch fields[0] {
+			case "setup":
+				c.SetupTime = v
+			case "hold":
+				c.HoldTime = v
+			default:
+				c.TNominal = v
+			}
+		case "variation":
+			if len(fields) != 12 {
+				return nil, fail("variation wants 11 args")
+			}
+			ints := [2]int{}
+			for i := 0; i < 2; i++ {
+				v, err := strconv.Atoi(fields[1+i])
+				if err != nil {
+					return nil, fail("bad variation grid: %v", err)
+				}
+				ints[i] = v
+			}
+			fs := [9]float64{}
+			for i := 0; i < 9; i++ {
+				v, err := strconv.ParseFloat(fields[3+i], 64)
+				if err != nil {
+					return nil, fail("bad variation field: %v", err)
+				}
+				fs[i] = v
+			}
+			cfg = variation.Config{
+				GridW: ints[0], GridH: ints[1],
+				SigmaL: fs[0], SigmaTox: fs[1], SigmaVth: fs[2],
+				CorrGlobal: fs[3], CorrDecay: fs[4],
+				SensL: fs[5], SensTox: fs[6], SensVth: fs[7],
+				SigmaRand: fs[8],
+			}
+			haveVar = true
+		case "buffer":
+			if len(fields) != 5 {
+				return nil, fail("buffer wants 4 args")
+			}
+			ffid, err1 := strconv.Atoi(fields[1])
+			lo, err2 := strconv.ParseFloat(fields[2], 64)
+			hi, err3 := strconv.ParseFloat(fields[3], 64)
+			steps, err4 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fail("bad buffer line")
+			}
+			bufFF = append(bufFF, ffid)
+			bufDev = append(bufDev, buffers.Device{FF: ffid, Lo: lo, Hi: hi, Steps: steps})
+		case "gate":
+			if len(fields) != 5 {
+				return nil, fail("gate wants 4 args")
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			x, err2 := strconv.Atoi(fields[2])
+			y, err3 := strconv.Atoi(fields[3])
+			nom, err4 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fail("bad gate line")
+			}
+			if id != len(c.Gates) {
+				return nil, fail("gate ids must be dense and ascending, got %d", id)
+			}
+			c.Gates = append(c.Gates, Gate{ID: id, CellX: x, CellY: y, Nominal: nom})
+		case "path":
+			if len(fields) != 7 {
+				return nil, fail("path wants 6 args")
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			from, err2 := strconv.Atoi(fields[2])
+			to, err3 := strconv.Atoi(fields[3])
+			cluster, err4 := strconv.Atoi(fields[4])
+			minScale, err5 := strconv.ParseFloat(fields[5], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+				return nil, fail("bad path line")
+			}
+			var gates []int
+			for _, s := range strings.Split(fields[6], ",") {
+				g, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fail("bad gate ref %q", s)
+				}
+				gates = append(gates, g)
+			}
+			rawPaths = append(rawPaths, rawPath{id, from, to, cluster, minScale, gates})
+		case "exclusive":
+			if len(fields) != 3 {
+				return nil, fail("exclusive wants 2 args")
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad exclusive line")
+			}
+			c.Exclusive = append(c.Exclusive, [2]int{a, b})
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+done:
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !haveVar {
+		return nil, fmt.Errorf("netlist: missing variation line")
+	}
+	model, err := variation.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Model = model
+
+	c.Buffered = bufFF
+	c.Devices = buffers.Chain{Devices: bufDev}
+	c.Buf = skew.Buffers{
+		N:        c.NumFF,
+		Buffered: make([]bool, c.NumFF),
+		Lo:       make([]float64, c.NumFF),
+		Hi:       make([]float64, c.NumFF),
+	}
+	for _, d := range bufDev {
+		if d.FF < 0 || d.FF >= c.NumFF {
+			return nil, fmt.Errorf("netlist: buffer FF %d out of range", d.FF)
+		}
+		c.Buf.Buffered[d.FF] = true
+		c.Buf.Lo[d.FF] = d.Lo
+		c.Buf.Hi[d.FF] = d.Hi
+		c.Buf.Steps = d.Steps
+	}
+
+	// Rebuild canonical forms from gates.
+	for _, rp := range rawPaths {
+		if rp.id != len(c.Paths) {
+			return nil, fmt.Errorf("netlist: path ids must be dense and ascending, got %d", rp.id)
+		}
+		var canon ssta.Canon
+		for k, gid := range rp.gates {
+			if gid < 0 || gid >= len(c.Gates) {
+				return nil, fmt.Errorf("netlist: path %d references gate %d", rp.id, gid)
+			}
+			g := c.Gates[gid]
+			gc := model.GateCanon(g.Nominal, g.CellX, g.CellY)
+			if k == 0 {
+				canon = gc
+			} else {
+				canon = ssta.Add(canon, gc)
+			}
+		}
+		c.Paths = append(c.Paths, Path{
+			ID: rp.id, From: rp.from, To: rp.to, Gates: rp.gates,
+			Cluster: rp.cluster, MinScale: rp.minScale,
+			Max: ssta.ShiftMean(canon, c.SetupTime),
+			Min: ssta.Scale(canon, rp.minScale),
+		})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,63 @@
+package circuit
+
+import "fmt"
+
+// Profile describes a benchmark circuit's published statistics (the paper's
+// Table 1: ns flip-flops, ng gates, nb tuning buffers, np paths whose delays
+// are required for buffer configuration).
+type Profile struct {
+	Name       string
+	NumFF      int // ns
+	NumGates   int // ng
+	NumBuffers int // nb
+	NumPaths   int // np
+}
+
+// Table1Profiles lists the eight ISCAS89/TAU13 circuits of the paper's
+// evaluation with their published statistics.
+var Table1Profiles = []Profile{
+	{Name: "s9234", NumFF: 211, NumGates: 5597, NumBuffers: 2, NumPaths: 80},
+	{Name: "s13207", NumFF: 638, NumGates: 7951, NumBuffers: 5, NumPaths: 485},
+	{Name: "s15850", NumFF: 534, NumGates: 9772, NumBuffers: 5, NumPaths: 397},
+	{Name: "s38584", NumFF: 1426, NumGates: 19253, NumBuffers: 7, NumPaths: 370},
+	{Name: "mem_ctrl", NumFF: 1065, NumGates: 10327, NumBuffers: 10, NumPaths: 3016},
+	{Name: "usb_funct", NumFF: 1746, NumGates: 14381, NumBuffers: 17, NumPaths: 482},
+	{Name: "ac97_ctrl", NumFF: 2199, NumGates: 9208, NumBuffers: 21, NumPaths: 780},
+	{Name: "pci_bridge32", NumFF: 3321, NumGates: 12494, NumBuffers: 32, NumPaths: 3472},
+}
+
+// ProfileByName looks up a Table-1 profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Table1Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Validate checks a profile for internal consistency.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("circuit: profile has no name")
+	}
+	if p.NumFF <= 1 {
+		return fmt.Errorf("circuit: profile %s: need at least 2 FFs", p.Name)
+	}
+	if p.NumBuffers < 1 || p.NumBuffers >= p.NumFF {
+		return fmt.Errorf("circuit: profile %s: buffer count %d out of range", p.Name, p.NumBuffers)
+	}
+	if p.NumPaths < 1 {
+		return fmt.Errorf("circuit: profile %s: no paths", p.Name)
+	}
+	if p.NumGates < 2*p.NumPaths {
+		return fmt.Errorf("circuit: profile %s: %d gates cannot host %d paths (need >= 2 gates per path)",
+			p.Name, p.NumGates, p.NumPaths)
+	}
+	return nil
+}
+
+// TinyProfile returns a small synthetic profile for tests and examples.
+func TinyProfile(name string, ffs, gates, bufs, paths int) Profile {
+	return Profile{Name: name, NumFF: ffs, NumGates: gates, NumBuffers: bufs, NumPaths: paths}
+}

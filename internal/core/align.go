@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"effitest/internal/circuit"
+	"effitest/internal/lp"
+	"effitest/internal/mip"
+)
+
+// alignItem is one unresolved path inside a batch during aligned testing.
+type alignItem struct {
+	path     int     // circuit path id
+	from, to int     // FF endpoints
+	lo, hi   float64 // current bounds [l, u] on the path delay D
+	lambda   float64 // hold bound λ for (from,to); -Inf when absent
+	weight   float64 // §3.3 center priority
+}
+
+func (it alignItem) center() float64 { return (it.lo + it.hi) / 2 }
+
+// assignWeights implements the paper's weighting: sort the range centers,
+// give k0 to the middle of the sorted list and decrease by kd per rank step
+// away from the middle (k0 ≫ kd keeps middle ranges slightly prioritized,
+// resolving the non-overlapping tie of Figure 6e).
+func assignWeights(items []alignItem, k0, kd float64) {
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return items[idx[a]].center() < items[idx[b]].center() })
+	mid := (len(idx) - 1) / 2
+	for rank, i := range idx {
+		w := k0 - kd*math.Abs(float64(rank-mid))
+		if w < 1 {
+			w = 1
+		}
+		items[i].weight = w
+	}
+}
+
+// alignResult carries the per-iteration solve outcome: the clock period to
+// apply and the buffer values (full per-FF vector; unbuffered FFs at 0).
+type alignResult struct {
+	T   float64
+	X   []float64
+	Obj float64
+}
+
+// alignSolve dispatches on the configured mode. Buffered FFs not touched by
+// the batch keep their previous values (vector prev, may be nil for all-
+// zero).
+func alignSolve(c *circuit.Circuit, items []alignItem, prev []float64, cfg Config) (alignResult, error) {
+	switch cfg.AlignMode {
+	case AlignOff:
+		return alignOff(c, items), nil
+	case AlignHeuristic:
+		return alignHeuristic(c, items, prev), nil
+	case AlignFastMILP:
+		return alignMILP(c, items, false)
+	case AlignPaperILP:
+		return alignMILP(c, items, true)
+	default:
+		return alignResult{}, fmt.Errorf("core: unknown align mode %d", cfg.AlignMode)
+	}
+}
+
+// valsWeights sorts two parallel slices by value without allocating.
+type valsWeights struct{ v, w []float64 }
+
+func (x valsWeights) Len() int           { return len(x.v) }
+func (x valsWeights) Less(a, b int) bool { return x.v[a] < x.v[b] }
+func (x valsWeights) Swap(a, b int) {
+	x.v[a], x.v[b] = x.v[b], x.v[a]
+	x.w[a], x.w[b] = x.w[b], x.w[a]
+}
+
+// weightedMedian returns the value minimizing Σ w|t - v| — the classical
+// weighted median. It sorts vals and weights in place (callers recompute
+// them before every call).
+func weightedMedian(vals, weights []float64) float64 {
+	sort.Sort(valsWeights{vals, weights})
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if acc >= total/2 {
+			return vals[i]
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// alignOff keeps buffers at zero and picks the weighted median of centers.
+func alignOff(c *circuit.Circuit, items []alignItem) alignResult {
+	vals := make([]float64, len(items))
+	ws := make([]float64, len(items))
+	for i, it := range items {
+		vals[i] = it.center()
+		ws[i] = it.weight
+	}
+	x := make([]float64, c.NumFF)
+	t := weightedMedian(vals, ws)
+	return alignResult{T: t, X: x, Obj: alignObjective(items, t, x)}
+}
+
+// alignObjective evaluates Σ w|T - (center + x_i - x_j)|.
+func alignObjective(items []alignItem, T float64, x []float64) float64 {
+	s := 0.0
+	for _, it := range items {
+		s += it.weight * math.Abs(T-(it.center()+x[it.from]-x[it.to]))
+	}
+	return s
+}
+
+// holdViolated reports whether any item's hold bound is violated by x.
+func holdViolated(items []alignItem, x []float64) bool {
+	for _, it := range items {
+		if !math.IsInf(it.lambda, -1) && x[it.from]-x[it.to] < it.lambda-1e-12 {
+			return true
+		}
+	}
+	return false
+}
+
+// alignHeuristic is weighted-median coordinate descent over the buffer
+// lattice: T is re-optimized in closed form; each touched buffer scans its
+// lattice, skipping values that violate any hold bound of the batch.
+func alignHeuristic(c *circuit.Circuit, items []alignItem, prev []float64) alignResult {
+	x := make([]float64, c.NumFF)
+	if prev != nil {
+		copy(x, prev)
+	}
+	// Collect touched buffered FFs.
+	var bufs []int
+	seen := map[int]bool{}
+	for _, it := range items {
+		for _, f := range [2]int{it.from, it.to} {
+			if c.Buf.Buffered[f] && !seen[f] {
+				seen[f] = true
+				bufs = append(bufs, f)
+			}
+		}
+	}
+	sort.Ints(bufs)
+	// Quantize any inherited values and repair hold feasibility.
+	for _, f := range bufs {
+		x[f] = c.Buf.Quantize(f, x[f])
+	}
+	repairHolds(c, items, bufs, x)
+
+	vals := make([]float64, len(items))
+	ws := make([]float64, len(items))
+	// evalBestT returns the objective with T re-optimized in closed form
+	// (the weighted median of the shifted centers) for the current x.
+	evalBestT := func() (float64, float64) {
+		for i, it := range items {
+			vals[i] = it.center() + x[it.from] - x[it.to]
+			ws[i] = it.weight
+		}
+		t := weightedMedian(vals, ws)
+		if t < 0 {
+			t = 0
+		}
+		return t, alignObjective(items, t, x)
+	}
+
+	latticeValue := func(f, k int) float64 { return c.Buf.Lo[f] + float64(k)*c.Buf.StepSize(f) }
+	steps := c.Buf.Steps
+	if steps < 0 {
+		steps = 0
+	}
+
+	if len(bufs) <= 2 && steps > 0 && steps <= 64 {
+		// Exhaustive lattice search: exact for one- and two-buffer batches
+		// (common on circuits with few buffers).
+		bestX := append([]float64(nil), x...)
+		_, best := evalBestT()
+		if holdViolated(items, x) {
+			best = math.Inf(1)
+		}
+		scan := func() {
+			if _, obj := evalBestT(); obj < best-1e-12 && !holdViolated(items, x) {
+				best = obj
+				copy(bestX, x)
+			}
+		}
+		switch len(bufs) {
+		case 1:
+			for k := 0; k <= steps; k++ {
+				x[bufs[0]] = latticeValue(bufs[0], k)
+				scan()
+			}
+		case 2:
+			for k0 := 0; k0 <= steps; k0++ {
+				x[bufs[0]] = latticeValue(bufs[0], k0)
+				for k1 := 0; k1 <= steps; k1++ {
+					x[bufs[1]] = latticeValue(bufs[1], k1)
+					scan()
+				}
+			}
+		}
+		copy(x, bestX)
+		t, obj := evalBestT()
+		return alignResult{T: t, X: x, Obj: obj}
+	}
+
+	// Multi-start coordinate descent for batches touching many buffers.
+	descend := func() float64 {
+		repairHolds(c, items, bufs, x)
+		_, best := evalBestT()
+		const maxPasses = 25
+		for pass := 0; pass < maxPasses; pass++ {
+			improved := false
+			for _, f := range bufs {
+				cur := x[f]
+				bestV, bestObj := cur, best
+				for k := 0; k <= steps; k++ {
+					v := latticeValue(f, k)
+					if v == cur {
+						continue
+					}
+					x[f] = v
+					if holdViolated(items, x) {
+						continue
+					}
+					if _, obj := evalBestT(); obj < bestObj-1e-12 {
+						bestObj, bestV = obj, v
+					}
+				}
+				x[f] = bestV
+				if bestObj < best-1e-12 {
+					best = bestObj
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		return best
+	}
+
+	bestX := append([]float64(nil), x...)
+	bestObj := descend()
+	copy(bestX, x)
+	if prev != nil {
+		// Warm-started re-solve within a batch: bounds moved only a little,
+		// so a single descent from the previous optimum suffices.
+		copy(x, bestX)
+		t, obj := evalBestT()
+		return alignResult{T: t, X: x, Obj: obj}
+	}
+	// Cold start: restart from all-zero (quantized) and two deterministic
+	// spreads derived from the batch contents.
+	restarts := [][]float64{make([]float64, c.NumFF), make([]float64, c.NumFF), make([]float64, c.NumFF)}
+	for ri, rx := range restarts {
+		for bi, f := range bufs {
+			switch ri {
+			case 0:
+				rx[f] = c.Buf.Quantize(f, 0)
+			case 1:
+				// Alternate extremes by position.
+				if bi%2 == 0 {
+					rx[f] = c.Buf.Lo[f]
+				} else {
+					rx[f] = c.Buf.Hi[f]
+				}
+			default:
+				if bi%2 == 1 {
+					rx[f] = c.Buf.Lo[f]
+				} else {
+					rx[f] = c.Buf.Hi[f]
+				}
+			}
+		}
+	}
+	for _, rx := range restarts {
+		copy(x, rx)
+		if obj := descend(); obj < bestObj-1e-12 {
+			bestObj = obj
+			copy(bestX, x)
+		}
+	}
+	copy(x, bestX)
+	t, obj := evalBestT()
+	return alignResult{T: t, X: x, Obj: obj}
+}
+
+// repairHolds makes x hold-feasible for the batch: as long as some item's
+// bound is violated, raise its source buffer or lower its sink buffer by one
+// lattice step where possible.
+func repairHolds(c *circuit.Circuit, items []alignItem, bufs []int, x []float64) {
+	for round := 0; round < 4*len(items)+8; round++ {
+		fixed := true
+		for _, it := range items {
+			if math.IsInf(it.lambda, -1) {
+				continue
+			}
+			if x[it.from]-x[it.to] >= it.lambda-1e-12 {
+				continue
+			}
+			fixed = false
+			sf, st := c.Buf.StepSize(it.from), c.Buf.StepSize(it.to)
+			if c.Buf.Buffered[it.from] && x[it.from]+sf <= c.Buf.Hi[it.from]+1e-12 {
+				x[it.from] = c.Buf.Quantize(it.from, x[it.from]+sf)
+			} else if c.Buf.Buffered[it.to] && x[it.to]-st >= c.Buf.Lo[it.to]-1e-12 {
+				x[it.to] = c.Buf.Quantize(it.to, x[it.to]-st)
+			}
+		}
+		if fixed {
+			return
+		}
+	}
+}
+
+// alignMILP builds and solves the alignment model exactly. With paperBigM
+// true it is the faithful Eqs. (7)–(14) big-M formulation (plus the implied
+// z⁺+z⁻=1); otherwise the equivalent direct absolute-value model. Buffer
+// values are integer lattice points in both cases.
+func alignMILP(c *circuit.Circuit, items []alignItem, paperBigM bool) (alignResult, error) {
+	p := mip.NewProblem()
+
+	tMax := 0.0
+	span := 0.0
+	for _, it := range items {
+		for _, f := range [2]int{it.from, it.to} {
+			if c.Buf.Buffered[f] {
+				if w := c.Buf.Hi[f] - c.Buf.Lo[f]; w > span {
+					span = w
+				}
+			}
+		}
+		if it.hi > tMax {
+			tMax = it.hi
+		}
+	}
+	tMax += 2*span + 1
+
+	tVar := p.AddVar("T", 0, tMax, 0)
+
+	// One integer step variable per touched buffered FF.
+	type bufVar struct {
+		v    int
+		lo   float64
+		step float64
+	}
+	bufOf := map[int]bufVar{}
+	xTerm := func(f int, sign float64) (lp.Term, float64, bool) {
+		// Returns the term for x_f = lo + step·n and the constant offset
+		// contributed; ok=false when the FF is unbuffered (x=0).
+		if !c.Buf.Buffered[f] {
+			return lp.Term{}, 0, false
+		}
+		bv, ok := bufOf[f]
+		if !ok {
+			bv = bufVar{
+				v:    p.AddIntVar(fmt.Sprintf("n%d", f), 0, float64(c.Buf.Steps), 0),
+				lo:   c.Buf.Lo[f],
+				step: c.Buf.StepSize(f),
+			}
+			bufOf[f] = bv
+		}
+		return lp.Term{Var: bv.v, Coef: sign * bv.step}, sign * bv.lo, true
+	}
+
+	etas := make([]int, len(items))
+	bigM := 4 * (tMax + span + 10)
+	for i, it := range items {
+		etas[i] = p.AddVar(fmt.Sprintf("eta%d", i), 0, lp.Inf, it.weight)
+		c0 := it.center()
+
+		// Build the linear expression e := T - c0 - (x_i - x_j) as terms +
+		// constant: e = T - x_i + x_j - c0.
+		var baseTerms []lp.Term
+		baseConst := -c0
+		baseTerms = append(baseTerms, lp.Term{Var: tVar, Coef: 1})
+		if t, off, ok := xTerm(it.from, -1); ok {
+			baseTerms = append(baseTerms, t)
+			baseConst += off
+		}
+		if t, off, ok := xTerm(it.to, 1); ok {
+			baseTerms = append(baseTerms, t)
+			baseConst += off
+		}
+
+		if !paperBigM {
+			// η ≥ e  and  η ≥ -e.
+			t1 := append([]lp.Term{{Var: etas[i], Coef: 1}}, negateTerms(baseTerms)...)
+			p.AddConstraint("absP", t1, lp.GE, baseConst)
+			t2 := append([]lp.Term{{Var: etas[i], Coef: 1}}, baseTerms...)
+			p.AddConstraint("absN", t2, lp.GE, -baseConst)
+		} else {
+			zp := p.AddBinVar(fmt.Sprintf("zp%d", i), 0)
+			zn := p.AddBinVar(fmt.Sprintf("zn%d", i), 0)
+			// (8)  e ≤ M z⁺
+			p.AddConstraint("eq8", append(cloneTerms(baseTerms), lp.Term{Var: zp, Coef: -bigM}), lp.LE, -baseConst)
+			// (9)  e - η ≤ M(1-z⁺)
+			p.AddConstraint("eq9", append(cloneTerms(baseTerms),
+				lp.Term{Var: etas[i], Coef: -1}, lp.Term{Var: zp, Coef: bigM}), lp.LE, -baseConst+bigM)
+			// (10) -e + η ≤ M(1-z⁺)
+			p.AddConstraint("eq10", append(negateTerms(baseTerms),
+				lp.Term{Var: etas[i], Coef: 1}, lp.Term{Var: zp, Coef: bigM}), lp.LE, baseConst+bigM)
+			// (11) -e ≤ M z⁻
+			p.AddConstraint("eq11", append(negateTerms(baseTerms), lp.Term{Var: zn, Coef: -bigM}), lp.LE, baseConst)
+			// (12) -e - η ≤ M(1-z⁻)
+			p.AddConstraint("eq12", append(negateTerms(baseTerms),
+				lp.Term{Var: etas[i], Coef: -1}, lp.Term{Var: zn, Coef: bigM}), lp.LE, baseConst+bigM)
+			// (13) e + η ≤ M(1-z⁻)
+			p.AddConstraint("eq13", append(cloneTerms(baseTerms),
+				lp.Term{Var: etas[i], Coef: 1}, lp.Term{Var: zn, Coef: bigM}), lp.LE, -baseConst+bigM)
+			// Implied case selection: exactly one side active.
+			p.AddConstraint("zsum", []lp.Term{{Var: zp, Coef: 1}, {Var: zn, Coef: 1}}, lp.EQ, 1)
+		}
+
+		// Hold bound (21): x_i - x_j ≥ λ.
+		if !math.IsInf(it.lambda, -1) {
+			var ht []lp.Term
+			hc := it.lambda
+			if t, off, ok := xTerm(it.from, 1); ok {
+				ht = append(ht, t)
+				hc -= off
+			}
+			if t, off, ok := xTerm(it.to, -1); ok {
+				ht = append(ht, t)
+				hc -= off
+			}
+			if len(ht) > 0 {
+				p.AddConstraint("hold", ht, lp.GE, hc)
+			} else if hc > 0 {
+				return alignResult{}, fmt.Errorf("core: hold bound %v unsatisfiable without buffers", it.lambda)
+			}
+		}
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return alignResult{}, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return alignResult{}, fmt.Errorf("core: alignment MILP %v", sol.Status)
+	}
+	x := make([]float64, c.NumFF)
+	for f, bv := range bufOf {
+		x[f] = bv.lo + bv.step*math.Round(sol.X[bv.v])
+	}
+	res := alignResult{T: sol.X[tVar], X: x}
+	its := make([]alignItem, len(items))
+	copy(its, items)
+	res.Obj = alignObjective(its, res.T, x)
+	return res, nil
+}
+
+func cloneTerms(ts []lp.Term) []lp.Term {
+	out := make([]lp.Term, len(ts))
+	copy(out, ts)
+	return out
+}
+
+func negateTerms(ts []lp.Term) []lp.Term {
+	out := make([]lp.Term, len(ts))
+	for i, t := range ts {
+		out[i] = lp.Term{Var: t.Var, Coef: -t.Coef}
+	}
+	return out
+}

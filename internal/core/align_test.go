@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"effitest/internal/circuit"
+	"effitest/internal/rng"
+)
+
+func TestAssignWeightsMiddleHighest(t *testing.T) {
+	items := []alignItem{
+		{lo: 0, hi: 2},  // center 1
+		{lo: 4, hi: 6},  // center 5
+		{lo: 8, hi: 10}, // center 9
+	}
+	assignWeights(items, 1000, 1)
+	if items[1].weight != 1000 {
+		t.Fatalf("middle weight %v, want 1000", items[1].weight)
+	}
+	if items[0].weight != 999 || items[2].weight != 999 {
+		t.Fatalf("outer weights %v %v, want 999", items[0].weight, items[2].weight)
+	}
+}
+
+func TestWeightedMedian(t *testing.T) {
+	if v := weightedMedian([]float64{1, 5, 9}, []float64{1, 1, 1}); v != 5 {
+		t.Fatalf("median = %v", v)
+	}
+	// Heavy weight pulls the median.
+	if v := weightedMedian([]float64{1, 5, 9}, []float64{10, 1, 1}); v != 1 {
+		t.Fatalf("weighted median = %v", v)
+	}
+}
+
+func TestAlignOffKeepsBuffersZero(t *testing.T) {
+	c := tinyCircuit(t, 1)
+	items := batchItems(c, []int{0, 1}, nil)
+	assignWeights(items, 1000, 1)
+	res := alignOff(c, items)
+	for f, v := range res.X {
+		if v != 0 {
+			t.Fatalf("buffer %d moved in AlignOff: %v", f, v)
+		}
+	}
+	if res.T <= 0 {
+		t.Fatalf("T = %v", res.T)
+	}
+}
+
+// batchItems builds align items for the given paths with ±3σ windows.
+func batchItems(c *circuit.Circuit, paths []int, lambda LambdaFunc) []alignItem {
+	if lambda == nil {
+		lambda = NoHoldBounds
+	}
+	items := make([]alignItem, len(paths))
+	for i, p := range paths {
+		pt := &c.Paths[p]
+		mu, sd := pt.Max.Mean, pt.Max.Sigma()
+		items[i] = alignItem{
+			path: p, from: pt.From, to: pt.To,
+			lo: mu - 3*sd, hi: mu + 3*sd,
+			lambda: lambda(pt.From, pt.To),
+		}
+	}
+	return items
+}
+
+func TestAlignModesAgreeOnObjective(t *testing.T) {
+	// The fast MILP and the paper's big-M MILP must find equal objectives
+	// (they are provably the same model); the heuristic must come close.
+	c := tinyCircuit(t, 2)
+	batches := FormBatches(c, rangeInts(c.NumPaths()), DefaultConfig())
+	r := rng.New(7, "alignmodes")
+	checked := 0
+	for _, batch := range batches {
+		if len(batch) < 2 || len(batch) > 5 {
+			continue
+		}
+		if checked >= 3 {
+			break
+		}
+		checked++
+		items := batchItems(c, batch, nil)
+		// Perturb windows so centers differ.
+		for i := range items {
+			shift := 0.05 * r.NormFloat64()
+			items[i].lo += shift
+			items[i].hi += shift
+		}
+		assignWeights(items, 1000, 1)
+
+		fast, err := alignMILP(c, items, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paper, err := alignMILP(c, items, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast.Obj-paper.Obj) > 1e-5*(1+math.Abs(fast.Obj)) {
+			t.Fatalf("fast %v vs paper %v objective mismatch", fast.Obj, paper.Obj)
+		}
+		heur := alignHeuristic(c, items, nil)
+		if heur.Obj < fast.Obj-1e-6 {
+			t.Fatalf("heuristic %v beat exact %v — exact solver is wrong", heur.Obj, fast.Obj)
+		}
+		if heur.Obj > fast.Obj*1.5+1e-6 {
+			t.Fatalf("heuristic %v too far above exact %v", heur.Obj, fast.Obj)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no suitably sized batches")
+	}
+}
+
+func TestAlignmentReducesObjectiveVsNoAlignment(t *testing.T) {
+	// The whole point of §3.3: moving buffers lets one T partition more
+	// ranges. On a batch with spread-out centers the aligned objective must
+	// beat the buffers-at-zero objective.
+	c := tinyCircuit(t, 3)
+	batches := FormBatches(c, rangeInts(c.NumPaths()), DefaultConfig())
+	improvedSomewhere := false
+	for _, batch := range batches {
+		if len(batch) < 3 {
+			continue
+		}
+		items := batchItems(c, batch, nil)
+		assignWeights(items, 1000, 1)
+		off := alignOff(c, items)
+		heur := alignHeuristic(c, items, nil)
+		if heur.Obj < off.Obj-1e-9 {
+			improvedSomewhere = true
+		}
+		if heur.Obj > off.Obj+1e-9 {
+			t.Fatalf("alignment made objective worse: %v vs %v", heur.Obj, off.Obj)
+		}
+	}
+	if !improvedSomewhere {
+		t.Fatal("alignment never improved any batch — buffers unused")
+	}
+}
+
+func TestAlignRespectsLattice(t *testing.T) {
+	c := tinyCircuit(t, 4)
+	batches := FormBatches(c, rangeInts(c.NumPaths()), DefaultConfig())
+	items := batchItems(c, batches[0], nil)
+	assignWeights(items, 1000, 1)
+	res := alignHeuristic(c, items, nil)
+	for f := 0; f < c.NumFF; f++ {
+		if !c.Buf.Buffered[f] {
+			if res.X[f] != 0 {
+				t.Fatalf("unbuffered FF %d moved", f)
+			}
+			continue
+		}
+		if q := c.Buf.Quantize(f, res.X[f]); math.Abs(q-res.X[f]) > 1e-9 {
+			t.Fatalf("buffer %d off lattice: %v", f, res.X[f])
+		}
+		if res.X[f] < c.Buf.Lo[f]-1e-12 || res.X[f] > c.Buf.Hi[f]+1e-12 {
+			t.Fatalf("buffer %d out of range: %v", f, res.X[f])
+		}
+	}
+}
+
+func TestAlignRespectsHoldBounds(t *testing.T) {
+	c := tinyCircuit(t, 5)
+	batches := FormBatches(c, rangeInts(c.NumPaths()), DefaultConfig())
+	// Impose a mild hold bound on every batch arc.
+	lambda := func(from, to int) float64 {
+		step := 0.0
+		if c.Buf.Buffered[from] {
+			step = c.Buf.StepSize(from)
+		} else if c.Buf.Buffered[to] {
+			step = c.Buf.StepSize(to)
+		}
+		return -4 * step // within easy reach but binding for big shifts
+	}
+	for _, batch := range batches[:minInt(3, len(batches))] {
+		items := batchItems(c, batch, lambda)
+		assignWeights(items, 1000, 1)
+		res := alignHeuristic(c, items, nil)
+		for _, it := range items {
+			if res.X[it.from]-res.X[it.to] < it.lambda-1e-9 {
+				t.Fatalf("hold bound violated: x%d-x%d = %v < %v",
+					it.from, it.to, res.X[it.from]-res.X[it.to], it.lambda)
+			}
+		}
+	}
+}
+
+func TestAlignMILPRespectsHoldBounds(t *testing.T) {
+	c := tinyCircuit(t, 6)
+	batches := FormBatches(c, rangeInts(c.NumPaths()), DefaultConfig())
+	var batch []int
+	for _, b := range batches {
+		if len(b) >= 2 && len(b) <= 4 {
+			batch = b
+			break
+		}
+	}
+	if batch == nil {
+		t.Skip("no small batch")
+	}
+	lambda := func(from, to int) float64 { return -0.01 }
+	items := batchItems(c, batch, lambda)
+	assignWeights(items, 1000, 1)
+	res, err := alignMILP(c, items, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if res.X[it.from]-res.X[it.to] < it.lambda-1e-6 {
+			t.Fatalf("MILP hold bound violated")
+		}
+	}
+}
+
+func rangeInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

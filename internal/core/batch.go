@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"effitest/internal/circuit"
+)
+
+// conflictChecker answers whether two paths may share a test batch.
+// Two paths conflict when they converge at the same flip-flop (a latch
+// failure there could not be attributed) or leave from the same flip-flop
+// (one launch vector cannot sensitize both), or when ATPG logic masking
+// marks them mutually exclusive (§3.2). Series arrangements — the sink of
+// one path being the source of another — are allowed; that is exactly the
+// paper's chain p14, p46, p67, ...
+type conflictChecker struct {
+	exclusive map[[2]int]bool
+}
+
+func newConflictChecker(c *circuit.Circuit) *conflictChecker {
+	ex := make(map[[2]int]bool, 2*len(c.Exclusive))
+	for _, e := range c.Exclusive {
+		ex[[2]int{e[0], e[1]}] = true
+		ex[[2]int{e[1], e[0]}] = true
+	}
+	return &conflictChecker{exclusive: ex}
+}
+
+func (cc *conflictChecker) conflict(c *circuit.Circuit, a, b int) bool {
+	pa, pb := &c.Paths[a], &c.Paths[b]
+	if pa.From == pb.From || pa.To == pb.To {
+		return true
+	}
+	return cc.exclusive[[2]int{a, b}]
+}
+
+// batchState tracks the sources/sinks used inside one batch for O(1)
+// compatibility checks.
+type batchState struct {
+	paths   []int
+	sources map[int]bool
+	sinks   map[int]bool
+}
+
+func newBatchState() *batchState {
+	return &batchState{sources: map[int]bool{}, sinks: map[int]bool{}}
+}
+
+func (b *batchState) compatible(c *circuit.Circuit, cc *conflictChecker, p int) bool {
+	pt := &c.Paths[p]
+	if b.sources[pt.From] || b.sinks[pt.To] {
+		return false
+	}
+	for _, q := range b.paths {
+		if cc.exclusive[[2]int{p, q}] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *batchState) add(c *circuit.Circuit, p int) {
+	pt := &c.Paths[p]
+	b.paths = append(b.paths, p)
+	b.sources[pt.From] = true
+	b.sinks[pt.To] = true
+}
+
+// FormBatches partitions the given paths into test batches using greedy
+// first-fit over the conflict structure (the paper notes a DFS or a simple
+// ILP suffices; first-fit over endpoint-degree-sorted paths is within one
+// batch of optimal on all generated circuits). Paths are ordered by
+// descending endpoint contention so the tightest flip-flops are packed
+// first.
+func FormBatches(c *circuit.Circuit, paths []int, cfg Config) [][]int {
+	cc := newConflictChecker(c)
+	// Contention: how many of the given paths share this path's source/sink.
+	srcCount := map[int]int{}
+	dstCount := map[int]int{}
+	for _, p := range paths {
+		srcCount[c.Paths[p].From]++
+		dstCount[c.Paths[p].To]++
+	}
+	order := make([]int, len(paths))
+	copy(order, paths)
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		ca := srcCount[c.Paths[a].From] + dstCount[c.Paths[a].To]
+		cb := srcCount[c.Paths[b].From] + dstCount[c.Paths[b].To]
+		if ca != cb {
+			return ca > cb
+		}
+		return a < b
+	})
+
+	var batches []*batchState
+	for _, p := range order {
+		placed := false
+		for _, b := range batches {
+			if cfg.MaxBatch > 0 && len(b.paths) >= cfg.MaxBatch {
+				continue
+			}
+			if b.compatible(c, cc, p) {
+				b.add(c, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			nb := newBatchState()
+			nb.add(c, p)
+			batches = append(batches, nb)
+		}
+	}
+	out := make([][]int, len(batches))
+	for i, b := range batches {
+		sort.Ints(b.paths)
+		out[i] = b.paths
+	}
+	return out
+}
+
+// FillSlots implements §3.2's empty-slot heuristic: paths whose predicted
+// (conditional) variance is largest are added to batches they are compatible
+// with, so their delays get measured for free. predSigma maps path id to the
+// conditional standard deviation after prediction (NaN/ignored for already
+// tested paths). Only paths whose conditional sigma stays above
+// cfg.FillSigmaFrac of their prior sigma are considered — well-predicted
+// paths gain nothing from a measurement. It returns the updated batches and
+// the ids of the added paths.
+func FillSlots(c *circuit.Circuit, batches [][]int, tested []int, predSigma []float64, cfg Config) ([][]int, []int) {
+	cc := newConflictChecker(c)
+	testedSet := make(map[int]bool, len(tested))
+	for _, p := range tested {
+		testedSet[p] = true
+	}
+	type cand struct {
+		p     int
+		sigma float64
+	}
+	var cands []cand
+	for p := 0; p < c.NumPaths(); p++ {
+		if testedSet[p] {
+			continue
+		}
+		s := predSigma[p]
+		if math.IsNaN(s) || s <= 0 {
+			continue
+		}
+		if prior := c.Paths[p].Max.Sigma(); prior > 0 && s < cfg.FillSigmaFrac*prior {
+			continue
+		}
+		cands = append(cands, cand{p, s})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sigma != cands[j].sigma {
+			return cands[i].sigma > cands[j].sigma
+		}
+		return cands[i].p < cands[j].p
+	})
+
+	states := make([]*batchState, len(batches))
+	for i, b := range batches {
+		st := newBatchState()
+		for _, p := range b {
+			st.add(c, p)
+		}
+		states[i] = st
+	}
+	var added []int
+	for _, cd := range cands {
+		for _, st := range states {
+			if cfg.MaxBatch > 0 && len(st.paths) >= cfg.MaxBatch {
+				continue
+			}
+			if st.compatible(c, cc, cd.p) {
+				st.add(c, cd.p)
+				added = append(added, cd.p)
+				break
+			}
+		}
+	}
+	out := make([][]int, len(states))
+	for i, st := range states {
+		sort.Ints(st.paths)
+		out[i] = st.paths
+	}
+	sort.Ints(added)
+	return out, added
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFormBatchesNoConflicts(t *testing.T) {
+	c := tinyCircuit(t, 1)
+	all := make([]int, c.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	batches := FormBatches(c, all, DefaultConfig())
+	covered := map[int]bool{}
+	for bi, batch := range batches {
+		srcs := map[int]bool{}
+		dsts := map[int]bool{}
+		for _, p := range batch {
+			if covered[p] {
+				t.Fatalf("path %d in multiple batches", p)
+			}
+			covered[p] = true
+			pt := &c.Paths[p]
+			if srcs[pt.From] {
+				t.Fatalf("batch %d: two paths leave FF %d", bi, pt.From)
+			}
+			if dsts[pt.To] {
+				t.Fatalf("batch %d: two paths converge at FF %d", bi, pt.To)
+			}
+			srcs[pt.From] = true
+			dsts[pt.To] = true
+		}
+	}
+	if len(covered) != c.NumPaths() {
+		t.Fatalf("only %d of %d paths batched", len(covered), c.NumPaths())
+	}
+}
+
+func TestFormBatchesRespectsExclusive(t *testing.T) {
+	c := tinyCircuit(t, 2)
+	// Find two batch-compatible paths and mark them exclusive.
+	var a, b = -1, -1
+	for i := 0; i < c.NumPaths() && a < 0; i++ {
+		for j := i + 1; j < c.NumPaths(); j++ {
+			if c.Paths[i].From != c.Paths[j].From && c.Paths[i].To != c.Paths[j].To {
+				a, b = i, j
+				break
+			}
+		}
+	}
+	if a < 0 {
+		t.Skip("no compatible pair")
+	}
+	c.Exclusive = append(c.Exclusive, [2]int{a, b})
+	batches := FormBatches(c, []int{a, b}, DefaultConfig())
+	if len(batches) != 2 {
+		t.Fatalf("exclusive pair shared a batch: %v", batches)
+	}
+}
+
+func TestFormBatchesSeriesChainsAllowed(t *testing.T) {
+	// Paths u->v and v->w share FF v as sink/source — the paper's series
+	// example; they must be batchable together.
+	c := tinyCircuit(t, 3)
+	var a, b = -1, -1
+	for i := 0; i < c.NumPaths() && a < 0; i++ {
+		for j := 0; j < c.NumPaths(); j++ {
+			if i == j {
+				continue
+			}
+			if c.Paths[i].To == c.Paths[j].From &&
+				c.Paths[i].From != c.Paths[j].From && c.Paths[i].To != c.Paths[j].To {
+				a, b = i, j
+				break
+			}
+		}
+	}
+	if a < 0 {
+		t.Skip("no series pair in tiny circuit")
+	}
+	batches := FormBatches(c, []int{a, b}, DefaultConfig())
+	if len(batches) != 1 {
+		t.Fatalf("series chain split into %d batches", len(batches))
+	}
+}
+
+func TestFormBatchesLowerBound(t *testing.T) {
+	// The number of batches must be at least the max endpoint contention.
+	c := tinyCircuit(t, 4)
+	all := make([]int, c.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	src := map[int]int{}
+	dst := map[int]int{}
+	maxDeg := 0
+	for _, p := range all {
+		src[c.Paths[p].From]++
+		dst[c.Paths[p].To]++
+	}
+	for _, v := range src {
+		if v > maxDeg {
+			maxDeg = v
+		}
+	}
+	for _, v := range dst {
+		if v > maxDeg {
+			maxDeg = v
+		}
+	}
+	batches := FormBatches(c, all, DefaultConfig())
+	if len(batches) < maxDeg {
+		t.Fatalf("%d batches below conflict lower bound %d", len(batches), maxDeg)
+	}
+	// Greedy should stay within 2x the lower bound on these circuits.
+	if len(batches) > 2*maxDeg+1 {
+		t.Fatalf("%d batches far above lower bound %d", len(batches), maxDeg)
+	}
+}
+
+func TestMaxBatchCap(t *testing.T) {
+	c := tinyCircuit(t, 5)
+	all := make([]int, c.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	cfg := DefaultConfig()
+	cfg.MaxBatch = 2
+	for _, batch := range FormBatches(c, all, cfg) {
+		if len(batch) > 2 {
+			t.Fatalf("batch size %d exceeds cap", len(batch))
+		}
+	}
+}
+
+func TestFillSlotsAddsHighVarianceCompatible(t *testing.T) {
+	c := tinyCircuit(t, 6)
+	cfg := DefaultConfig()
+	groups, tested, err := SelectPaths(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := FormBatches(c, tested, cfg)
+	sig, err := PredictSigmas(c, groups, tested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newBatches, added := FillSlots(c, batches, tested, sig, cfg)
+
+	// Added paths must not be already tested, must carry valid sigma, and
+	// the new batches must still be conflict-free.
+	testedSet := map[int]bool{}
+	for _, p := range tested {
+		testedSet[p] = true
+	}
+	for _, p := range added {
+		if testedSet[p] {
+			t.Fatalf("added already-tested path %d", p)
+		}
+		if math.IsNaN(sig[p]) {
+			t.Fatalf("added path %d has no predicted sigma", p)
+		}
+	}
+	for bi, batch := range newBatches {
+		srcs := map[int]bool{}
+		dsts := map[int]bool{}
+		for _, p := range batch {
+			pt := &c.Paths[p]
+			if srcs[pt.From] || dsts[pt.To] {
+				t.Fatalf("batch %d conflict after filling", bi)
+			}
+			srcs[pt.From] = true
+			dsts[pt.To] = true
+		}
+	}
+	// Batch count unchanged; total paths grew by len(added).
+	if len(newBatches) != len(batches) {
+		t.Fatal("filling changed batch count")
+	}
+	tot0, tot1 := 0, 0
+	for _, b := range batches {
+		tot0 += len(b)
+	}
+	for _, b := range newBatches {
+		tot1 += len(b)
+	}
+	if tot1 != tot0+len(added) {
+		t.Fatalf("path accounting wrong: %d -> %d with %d added", tot0, tot1, len(added))
+	}
+}

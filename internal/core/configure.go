@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"effitest/internal/circuit"
+	"effitest/internal/lp"
+	"effitest/internal/mip"
+	"effitest/internal/skew"
+)
+
+// ConfigureResult is the outcome of buffer-value configuration (Eqs. 15–18).
+type ConfigureResult struct {
+	X        []float64 // per-FF buffer values (lattice points; unbuffered 0)
+	Xi       float64   // achieved objective ξ: max shortfall from upper bounds
+	Feasible bool
+}
+
+// Configure determines final buffer values from the per-path delay windows
+// in b (measured or predicted) so that the chip meets period Td while the
+// assumed delays stay as close to their upper bounds as possible (minimize
+// ξ of Eqs. 15–17), subject to buffer ranges (18) and hold bounds (21).
+func Configure(c *circuit.Circuit, b *Bounds, hb *HoldBounds, Td float64, cfg Config) (ConfigureResult, error) {
+	switch cfg.ConfigMode {
+	case ConfigureScalable:
+		return configureScalable(c, b, hb, Td)
+	case ConfigureMILP:
+		return configureMILP(c, b, hb, Td)
+	default:
+		return ConfigureResult{}, fmt.Errorf("core: unknown configure mode %d", cfg.ConfigMode)
+	}
+}
+
+// pairBound aggregates parallel paths between the same FF pair: every path's
+// constraints must hold, so the pair's effective bounds are the maxima.
+type pairBound struct {
+	from, to int
+	u, l     float64
+	lambda   float64
+}
+
+func pairBounds(c *circuit.Circuit, b *Bounds, hb *HoldBounds) []pairBound {
+	idx := map[[2]int]int{}
+	var out []pairBound
+	for i := range c.Paths {
+		p := &c.Paths[i]
+		key := [2]int{p.From, p.To}
+		j, ok := idx[key]
+		if !ok {
+			j = len(out)
+			idx[key] = j
+			out = append(out, pairBound{
+				from: p.From, to: p.To,
+				u: math.Inf(-1), l: math.Inf(-1),
+				lambda: hb.Lambda(p.From, p.To),
+			})
+		}
+		out[j].u = math.Max(out[j].u, b.Hi[i])
+		out[j].l = math.Max(out[j].l, b.Lo[i])
+	}
+	return out
+}
+
+// configureScalable solves the model by bisection on ξ. For a fixed ξ the
+// constraints reduce to differences on the buffer lattice:
+//
+//	x_i - x_j ≤ Td - max(u_ij - ξ, l_ij)   (from 15–17)
+//	x_i - x_j ≥ λ_ij                        (21)
+//
+// which FeasibleDiscrete decides exactly. ξ saturates at max(u-l), so the
+// search space is closed; 48 bisection steps give ~1e-14 relative precision.
+func configureScalable(c *circuit.Circuit, b *Bounds, hb *HoldBounds, Td float64) (ConfigureResult, error) {
+	pbs := pairBounds(c, b, hb)
+	arcsAt := func(xi float64) []skew.Timing {
+		arcs := make([]skew.Timing, len(pbs))
+		for i, pb := range pbs {
+			arcs[i] = skew.Timing{
+				From: pb.from, To: pb.to,
+				Setup: math.Max(pb.u-xi, pb.l),
+				Hold:  pb.lambda,
+			}
+		}
+		return arcs
+	}
+	xiMax := 0.0
+	for _, pb := range pbs {
+		if w := pb.u - pb.l; w > xiMax {
+			xiMax = w
+		}
+	}
+	xSat, ok := skew.FeasibleDiscrete(Td, arcsAt(xiMax), c.Buf)
+	if !ok {
+		return ConfigureResult{Feasible: false}, nil
+	}
+	// ξ = 0 may already work (chip comfortably meets Td at the upper
+	// bounds).
+	if x0, ok := skew.FeasibleDiscrete(Td, arcsAt(0), c.Buf); ok {
+		return ConfigureResult{X: x0, Xi: 0, Feasible: true}, nil
+	}
+	lo, hi := 0.0, xiMax
+	bestX := xSat
+	for it := 0; it < 48; it++ {
+		mid := (lo + hi) / 2
+		if x, ok := skew.FeasibleDiscrete(Td, arcsAt(mid), c.Buf); ok {
+			hi = mid
+			bestX = x
+		} else {
+			lo = mid
+		}
+	}
+	return ConfigureResult{X: bestX, Xi: hi, Feasible: true}, nil
+}
+
+// configureMILP is the literal MILP of Eqs. (15)–(18) plus (21): variables
+// ξ, one assumed delay D'ij per path, and integer lattice steps per buffer.
+// Cross-check/ablation use; cost grows with path count.
+func configureMILP(c *circuit.Circuit, b *Bounds, hb *HoldBounds, Td float64) (ConfigureResult, error) {
+	p := mip.NewProblem()
+	xi := p.AddVar("xi", 0, lp.Inf, 1)
+
+	type bufVar struct {
+		v    int
+		lo   float64
+		step float64
+	}
+	bufOf := map[int]bufVar{}
+	xTerm := func(f int, sign float64) (lp.Term, float64, bool) {
+		if !c.Buf.Buffered[f] {
+			return lp.Term{}, 0, false
+		}
+		bv, ok := bufOf[f]
+		if !ok {
+			bv = bufVar{
+				v:    p.AddIntVar(fmt.Sprintf("n%d", f), 0, float64(c.Buf.Steps), 0),
+				lo:   c.Buf.Lo[f],
+				step: c.Buf.StepSize(f),
+			}
+			bufOf[f] = bv
+		}
+		return lp.Term{Var: bv.v, Coef: sign * bv.step}, sign * bv.lo, true
+	}
+
+	for i := range c.Paths {
+		pt := &c.Paths[i]
+		d := p.AddVar(fmt.Sprintf("D%d", i), b.Lo[i], b.Hi[i], 0)
+		// (16) D' + x_i - x_j ≤ Td.
+		terms := []lp.Term{{Var: d, Coef: 1}}
+		rhs := Td
+		if t, off, ok := xTerm(pt.From, 1); ok {
+			terms = append(terms, t)
+			rhs -= off
+		}
+		if t, off, ok := xTerm(pt.To, -1); ok {
+			terms = append(terms, t)
+			rhs -= off
+		}
+		p.AddConstraint("setup", terms, lp.LE, rhs)
+		// (17) ξ ≥ u - D'.
+		p.AddConstraint("xi", []lp.Term{{Var: xi, Coef: 1}, {Var: d, Coef: 1}}, lp.GE, b.Hi[i])
+	}
+
+	// (21) hold bounds per pair.
+	for pair, lam := range holdPairs(c, hb) {
+		var terms []lp.Term
+		rhs := lam
+		if t, off, ok := xTerm(pair[0], 1); ok {
+			terms = append(terms, t)
+			rhs -= off
+		}
+		if t, off, ok := xTerm(pair[1], -1); ok {
+			terms = append(terms, t)
+			rhs -= off
+		}
+		if len(terms) > 0 {
+			p.AddConstraint("hold", terms, lp.GE, rhs)
+		} else if rhs > 0 {
+			return ConfigureResult{Feasible: false}, nil
+		}
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return ConfigureResult{}, err
+	}
+	if sol.Status == lp.StatusInfeasible {
+		return ConfigureResult{Feasible: false}, nil
+	}
+	if sol.Status != lp.StatusOptimal {
+		return ConfigureResult{}, fmt.Errorf("core: configuration MILP %v", sol.Status)
+	}
+	x := make([]float64, c.NumFF)
+	for f, bv := range bufOf {
+		x[f] = bv.lo + bv.step*math.Round(sol.X[bv.v])
+	}
+	return ConfigureResult{X: x, Xi: sol.X[xi], Feasible: true}, nil
+}
+
+func holdPairs(c *circuit.Circuit, hb *HoldBounds) map[[2]int]float64 {
+	out := map[[2]int]float64{}
+	for i := range c.Paths {
+		key := [2]int{c.Paths[i].From, c.Paths[i].To}
+		if _, ok := out[key]; ok {
+			continue
+		}
+		if lam := hb.Lambda(key[0], key[1]); !math.IsInf(lam, -1) {
+			out[key] = lam
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"effitest/internal/circuit"
+	"effitest/internal/tester"
+)
+
+// Plan is the offline (per-circuit, tester-free) part of EffiTest: path
+// groups with their PCA selections, the test batches, and the hold-time
+// tuning bounds. Its construction time is the paper's Tp.
+type Plan struct {
+	Circuit *circuit.Circuit
+	Cfg     Config
+
+	Groups  []Group
+	Tested  []int // all paths measured on the tester (selected + fills)
+	Filled  []int // subset of Tested added by slot filling
+	Batches [][]int
+	Hold    *HoldBounds
+
+	PrepDuration time.Duration
+}
+
+// Prepare runs the offline flow of Figure 4: path selection for prediction,
+// test multiplexing (with slot filling), and hold-bound computation.
+func Prepare(c *circuit.Circuit, cfg Config) (*Plan, error) {
+	start := time.Now()
+	groups, tested, err := SelectPaths(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	batches := FormBatches(c, tested, cfg)
+	var filled []int
+	if cfg.FillSlots {
+		sig, err := PredictSigmas(c, groups, tested)
+		if err != nil {
+			return nil, err
+		}
+		batches, filled = FillSlots(c, batches, tested, sig, cfg)
+		if len(filled) > 0 {
+			tested = append(append([]int{}, tested...), filled...)
+			sortInts(tested)
+		}
+	}
+	hb, err := ComputeHoldBounds(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Circuit:      c,
+		Cfg:          cfg,
+		Groups:       groups,
+		Tested:       tested,
+		Filled:       filled,
+		Batches:      batches,
+		Hold:         hb,
+		PrepDuration: time.Since(start),
+	}, nil
+}
+
+// NumTested returns the paper's npt.
+func (pl *Plan) NumTested() int { return len(pl.Tested) }
+
+// ChipOutcome is the per-chip result of the online flow.
+type ChipOutcome struct {
+	Iterations int   // tester frequency steps (the paper's per-chip ta term)
+	ScanBits   int64 // configuration bits shifted through the scan chain
+
+	AlignDuration  time.Duration // Tt component
+	ConfigDuration time.Duration // Ts component
+
+	Bounds     *Bounds   // final per-path delay windows (measured/predicted)
+	X          []float64 // configured buffer values
+	Xi         float64
+	Configured bool // a feasible configuration was found
+	Passed     bool // final pass/fail test at Td (setup + hold)
+}
+
+// RunChip executes the online flow on one manufactured chip: aligned delay
+// test of every batch, conditional prediction of the untested paths, buffer
+// configuration, and the final pass/fail test.
+func (pl *Plan) RunChip(ch *tester.Chip, Td float64) (*ChipOutcome, error) {
+	if ch.Circuit != pl.Circuit {
+		return nil, fmt.Errorf("core: chip belongs to a different circuit")
+	}
+	c := pl.Circuit
+	cfg := pl.Cfg
+	out := &ChipOutcome{}
+
+	b := InitBounds(c)
+	ate := tester.NewATE(ch, cfg.TesterResolution)
+	lambda := pl.Hold.Lambda
+	for _, batch := range pl.Batches {
+		iters, alignDur, err := RunBatchTest(ate, c, batch, b, lambda, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Iterations += iters
+		out.AlignDuration += alignDur
+	}
+	out.ScanBits = ate.ScanBits
+
+	if err := PredictBounds(c, pl.Groups, pl.Tested, b); err != nil {
+		return nil, err
+	}
+	out.Bounds = b
+
+	cfgStart := time.Now()
+	res, err := Configure(c, b, pl.Hold, Td, cfg)
+	out.ConfigDuration = time.Since(cfgStart)
+	if err != nil {
+		return nil, err
+	}
+	out.Configured = res.Feasible
+	if res.Feasible {
+		out.X = res.X
+		out.Xi = res.Xi
+		out.Passed = ch.PassesAt(Td, res.X) && ch.HoldOK(res.X)
+	} else {
+		out.X = make([]float64, c.NumFF)
+	}
+	return out, nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"effitest/internal/circuit"
+)
+
+func tinyCircuit(t *testing.T, seed int64) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.Generate(circuit.TinyProfile("tiny", 24, 200, 3, 30), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSelectPathsCoversEveryPath(t *testing.T) {
+	c := tinyCircuit(t, 1)
+	groups, tested, err := SelectPaths(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, c.NumPaths())
+	for _, g := range groups {
+		for _, p := range g.Paths {
+			if seen[p] {
+				t.Fatalf("path %d in two groups", p)
+			}
+			seen[p] = true
+		}
+	}
+	for p, s := range seen {
+		if !s {
+			t.Fatalf("path %d not grouped", p)
+		}
+	}
+	if len(tested) == 0 {
+		t.Fatal("no paths selected for test")
+	}
+	if len(tested) >= c.NumPaths() {
+		t.Fatalf("selection did not reduce: %d of %d", len(tested), c.NumPaths())
+	}
+}
+
+func TestSelectPathsSelectedBelongToGroup(t *testing.T) {
+	c := tinyCircuit(t, 2)
+	groups, _, err := SelectPaths(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range groups {
+		if g.NumPCs < 1 {
+			t.Fatalf("group %d has %d PCs", gi, g.NumPCs)
+		}
+		if len(g.Selected) != g.NumPCs && len(g.Selected) != len(g.Paths) {
+			// Selected = min(NumPCs, |group|).
+			t.Fatalf("group %d: %d selected for %d PCs (size %d)",
+				gi, len(g.Selected), g.NumPCs, len(g.Paths))
+		}
+		inGroup := map[int]bool{}
+		for _, p := range g.Paths {
+			inGroup[p] = true
+		}
+		for _, s := range g.Selected {
+			if !inGroup[s] {
+				t.Fatalf("group %d selected foreign path %d", gi, s)
+			}
+		}
+	}
+}
+
+func TestSelectPathsDeterministic(t *testing.T) {
+	c := tinyCircuit(t, 3)
+	_, t1, err := SelectPaths(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2, err := SelectPaths(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != len(t2) {
+		t.Fatal("non-deterministic selection size")
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("non-deterministic selection")
+		}
+	}
+}
+
+func TestSelectPathsReductionOnClusteredCircuit(t *testing.T) {
+	// Clustered circuits should need far fewer tested paths than np — the
+	// paper reports ~2-20%. Allow up to 60% on tiny circuits.
+	c := tinyCircuit(t, 4)
+	_, tested, err := SelectPaths(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(tested)) / float64(c.NumPaths())
+	if frac > 0.6 {
+		t.Fatalf("tested fraction %.2f too high for clustered circuit", frac)
+	}
+}
+
+func TestSelectPathsThresholdSchedule(t *testing.T) {
+	c := tinyCircuit(t, 5)
+	cfg := DefaultConfig()
+	groups, _, err := SelectPaths(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if g.Threshold > cfg.CorrStart+1e-12 {
+			t.Fatalf("group threshold %v above start %v", g.Threshold, cfg.CorrStart)
+		}
+	}
+}
+
+func TestGroupSizeCap(t *testing.T) {
+	c := tinyCircuit(t, 6)
+	cfg := DefaultConfig()
+	cfg.MaxGroupSize = 4
+	groups, _, err := SelectPaths(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range groups {
+		if len(g.Paths) > 4 {
+			t.Fatalf("group %d size %d exceeds cap", gi, len(g.Paths))
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"effitest/internal/circuit"
+	"math"
+	"testing"
+
+	"effitest/internal/tester"
+)
+
+func TestHoldBoundsYieldTarget(t *testing.T) {
+	c := tinyCircuit(t, 1)
+	cfg := DefaultConfig()
+	cfg.HoldSamples = 200
+	hb, err := ComputeHoldBounds(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := HoldYieldEstimate(c, hb, cfg); y < cfg.HoldYield-1e-9 {
+		t.Fatalf("hold yield %v below target %v", y, cfg.HoldYield)
+	}
+}
+
+func TestHoldBoundsGreedyVsExact(t *testing.T) {
+	// On a tiny instance the greedy Σλ must match the exact MILP closely
+	// (equal in most seeds; never better, since the MILP is optimal).
+	c, err := tinyCircuitErr(8, 40, 2, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HoldSamples = 12
+	cfg.HoldYield = 0.80 // allow 2 of 12 samples dropped
+	greedy, err := ComputeHoldBounds(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ComputeHoldBoundsExact(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, es := greedy.SumLambda(), exact.SumLambda()
+	if gs < es-1e-6 {
+		t.Fatalf("greedy Σλ %v below exact optimum %v — exact solver wrong", gs, es)
+	}
+	if gs > es+0.25*math.Abs(es)+1e-6 {
+		t.Fatalf("greedy Σλ %v too far above exact %v", gs, es)
+	}
+	// Both must still satisfy the yield.
+	if y := HoldYieldEstimate(c, exact, cfg); y < cfg.HoldYield-1e-9 {
+		t.Fatalf("exact bounds yield %v below %v", y, cfg.HoldYield)
+	}
+}
+
+func TestHoldBoundsDroppingHelps(t *testing.T) {
+	// With Y < 1 the bounds must be no larger than the Y=1 bounds.
+	c := tinyCircuit(t, 2)
+	cfg := DefaultConfig()
+	cfg.HoldSamples = 100
+	cfg.HoldYield = 1.0
+	strict, err := ComputeHoldBounds(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.HoldYield = 0.95
+	relaxed, err := ComputeHoldBounds(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.SumLambda() > strict.SumLambda()+1e-9 {
+		t.Fatalf("relaxed Σλ %v exceeds strict %v", relaxed.SumLambda(), strict.SumLambda())
+	}
+}
+
+func TestHoldBoundsConfigValidation(t *testing.T) {
+	c := tinyCircuit(t, 3)
+	cfg := DefaultConfig()
+	cfg.HoldSamples = 0
+	if _, err := ComputeHoldBounds(c, cfg); err == nil {
+		t.Fatal("zero samples should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.HoldYield = 1.5
+	if _, err := ComputeHoldBounds(c, cfg); err == nil {
+		t.Fatal("bad yield should fail")
+	}
+}
+
+func TestLambdaDefault(t *testing.T) {
+	var hb *HoldBounds
+	if !math.IsInf(hb.Lambda(1, 2), -1) {
+		t.Fatal("nil bounds should be unconstrained")
+	}
+	hb = &HoldBounds{ByPair: map[[2]int]float64{{1, 2}: 0.5}}
+	if hb.Lambda(1, 2) != 0.5 {
+		t.Fatal("lookup failed")
+	}
+	if !math.IsInf(hb.Lambda(2, 1), -1) {
+		t.Fatal("reverse pair should be unconstrained")
+	}
+}
+
+func TestConfigureScalableMatchesMILP(t *testing.T) {
+	// The key ablation cross-check: both solvers of Eqs. (15)–(18) must
+	// agree on feasibility and (nearly) on the achieved ξ.
+	c, err := tinyCircuitErr(10, 60, 2, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HoldSamples = 50
+	hb, err := ComputeHoldBounds(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chipIdx := 0; chipIdx < 6; chipIdx++ {
+		ch := tester.SampleChip(c, 31, chipIdx)
+		b := InitBounds(c)
+		// Simulate exact measurement.
+		for p := range c.Paths {
+			b.Lo[p] = ch.TrueMax[p] - 0.001
+			b.Hi[p] = ch.TrueMax[p] + 0.001
+		}
+		td := chipQuantile(c, 0.65)
+		s, err := configureScalable(c, b, hb, td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := configureMILP(c, b, hb, td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Feasible != m.Feasible {
+			t.Fatalf("chip %d: feasibility disagreement scalable=%v milp=%v",
+				chipIdx, s.Feasible, m.Feasible)
+		}
+		if !s.Feasible {
+			continue
+		}
+		// ξ values may differ by lattice granularity; both must be valid
+		// objective values, and neither may beat the other by more than one
+		// step.
+		step := c.Buf.StepSize(c.Buffered[0])
+		if math.Abs(s.Xi-m.Xi) > step+1e-6 {
+			t.Fatalf("chip %d: ξ mismatch scalable %v vs milp %v (step %v)",
+				chipIdx, s.Xi, m.Xi, step)
+		}
+		verifyConfiguration(t, c, b, hb, td, s.X, s.Xi)
+		verifyConfiguration(t, c, b, hb, td, m.X, m.Xi)
+	}
+}
+
+// verifyConfiguration checks the configuration model directly on a
+// solution: for every path there must exist an assumed delay D' in
+// [l, min(u, Td - xi + xj)] with u - D' ≤ ξ, buffers must be on their
+// lattices, and hold bounds must hold.
+func verifyConfiguration(t *testing.T, c *circuit.Circuit, b *Bounds, hb *HoldBounds, td float64, x []float64, xi float64) {
+	t.Helper()
+	const tol = 1e-6
+	for p := range c.Paths {
+		pt := &c.Paths[p]
+		dMax := math.Min(b.Hi[p], td-(x[pt.From]-x[pt.To]))
+		if dMax < b.Lo[p]-tol {
+			t.Fatalf("path %d: no feasible assumed delay (dMax %v < l %v)", p, dMax, b.Lo[p])
+		}
+		if shortfall := b.Hi[p] - dMax; shortfall > xi+tol {
+			t.Fatalf("path %d: shortfall %v exceeds ξ %v", p, shortfall, xi)
+		}
+		if lam := hb.Lambda(pt.From, pt.To); !math.IsInf(lam, -1) {
+			if x[pt.From]-x[pt.To] < lam-tol {
+				t.Fatalf("path %d: hold bound violated", p)
+			}
+		}
+	}
+	for f := 0; f < c.NumFF; f++ {
+		if !c.Buf.Buffered[f] {
+			if x[f] != 0 {
+				t.Fatalf("unbuffered FF %d moved", f)
+			}
+			continue
+		}
+		if math.Abs(c.Buf.Quantize(f, x[f])-x[f]) > 1e-9 {
+			t.Fatalf("buffer %d off lattice: %v", f, x[f])
+		}
+	}
+}
+
+// tinyCircuitErr generates a custom-size tiny circuit.
+func tinyCircuitErr(ffs, gates, bufs, paths int, seed int64) (*circuit.Circuit, error) {
+	return circuit.Generate(circuit.TinyProfile("custom", ffs, gates, bufs, paths), seed)
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"effitest/internal/circuit"
+	"effitest/internal/la"
+	"effitest/internal/stats"
+)
+
+// PredictSigmas returns, for every path, the conditional standard deviation
+// σ' it would have after the given tested paths of its group are measured
+// (Eq. 5). Tested paths get NaN. Because σ' does not depend on the measured
+// values (only on the covariance), this is computable before any testing —
+// that is what §3.2 exploits to pick slot-filler paths.
+func PredictSigmas(c *circuit.Circuit, groups []Group, tested []int) ([]float64, error) {
+	testedSet := make(map[int]bool, len(tested))
+	for _, p := range tested {
+		testedSet[p] = true
+	}
+	out := make([]float64, c.NumPaths())
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	for _, g := range groups {
+		known, unknown := splitGroup(g, testedSet)
+		if len(unknown) == 0 {
+			continue
+		}
+		mvn, err := groupMVN(c, g)
+		if err != nil {
+			return nil, err
+		}
+		localKnown := localIndices(g.Paths, known)
+		localUnknown := localIndices(g.Paths, unknown)
+		// Observed values do not matter for σ'; use the means.
+		obs := make([]float64, len(localKnown))
+		for i, k := range known {
+			obs[i] = c.Paths[k].Max.Mean
+		}
+		cond, err := mvn.Conditional(localUnknown, localKnown, obs)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range unknown {
+			out[p] = math.Sqrt(math.Max(cond.Sigma.At(i, i), 0))
+		}
+	}
+	return out, nil
+}
+
+// PredictBounds runs §3.4's conditional estimation: for every untested path,
+// the conditional mean (Eq. 4) is computed from the *upper* bounds of the
+// tested delays (conservative per the paper), the conditional sigma from
+// Eq. 5, and the path's window is set to μ' ± 3σ'. Tested paths keep their
+// measured windows. The bounds struct is updated in place.
+func PredictBounds(c *circuit.Circuit, groups []Group, tested []int, b *Bounds) error {
+	testedSet := make(map[int]bool, len(tested))
+	for _, p := range tested {
+		testedSet[p] = true
+	}
+	for _, g := range groups {
+		known, unknown := splitGroup(g, testedSet)
+		if len(unknown) == 0 {
+			continue
+		}
+		if len(known) == 0 {
+			// No measurement available: fall back to the prior ±3σ window
+			// (already in b). This only happens for groups whose selected
+			// paths were all unresolvable, which the flow treats as a
+			// degraded but legal outcome.
+			continue
+		}
+		mvn, err := groupMVN(c, g)
+		if err != nil {
+			return err
+		}
+		localKnown := localIndices(g.Paths, known)
+		localUnknown := localIndices(g.Paths, unknown)
+		obs := make([]float64, len(known))
+		for i, k := range known {
+			obs[i] = b.Hi[k] // conservative: measured upper bounds
+		}
+		cond, err := mvn.Conditional(localUnknown, localKnown, obs)
+		if err != nil {
+			return err
+		}
+		for i, p := range unknown {
+			sigma := math.Sqrt(math.Max(cond.Sigma.At(i, i), 0))
+			mu := cond.Mu[i]
+			lo := mu - 3*sigma
+			if lo < 0 {
+				lo = 0
+			}
+			b.Lo[p] = lo
+			b.Hi[p] = mu + 3*sigma
+		}
+	}
+	return nil
+}
+
+func splitGroup(g Group, testedSet map[int]bool) (known, unknown []int) {
+	for _, p := range g.Paths {
+		if testedSet[p] {
+			known = append(known, p)
+		} else {
+			unknown = append(unknown, p)
+		}
+	}
+	return known, unknown
+}
+
+func localIndices(members []int, subset []int) []int {
+	pos := make(map[int]int, len(members))
+	for i, m := range members {
+		pos[m] = i
+	}
+	out := make([]int, len(subset))
+	for i, s := range subset {
+		out[i] = pos[s]
+	}
+	return out
+}
+
+func groupMVN(c *circuit.Circuit, g Group) (*stats.MVN, error) {
+	cov := c.CovMatrix()
+	n := len(g.Paths)
+	sigma := la.NewMatrix(n, n)
+	mu := make([]float64, n)
+	for i, a := range g.Paths {
+		mu[i] = c.Paths[a].Max.Mean
+		for j, b := range g.Paths {
+			sigma.Set(i, j, cov[a][b])
+		}
+	}
+	mvn, err := stats.NewMVN(mu, sigma)
+	if err != nil {
+		return nil, fmt.Errorf("core: group MVN: %w", err)
+	}
+	return mvn, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"effitest/internal/circuit"
+	"effitest/internal/tester"
+)
+
+// Bounds tracks the evolving [lower, upper] delay window of every path
+// (indexed by path id). Initialized to μ±3σ per the paper; frequency steps
+// tighten one side per iteration.
+type Bounds struct {
+	Lo, Hi []float64
+}
+
+// InitBounds builds the μ±3σ starting windows for all paths of a circuit.
+func InitBounds(c *circuit.Circuit) *Bounds {
+	n := c.NumPaths()
+	b := &Bounds{Lo: make([]float64, n), Hi: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		mu := c.Paths[i].Max.Mean
+		sd := c.Paths[i].Max.Sigma()
+		b.Lo[i] = mu - 3*sd
+		b.Hi[i] = mu + 3*sd
+		if b.Lo[i] < 0 {
+			b.Lo[i] = 0
+		}
+	}
+	return b
+}
+
+// Width returns the current window width of path p.
+func (b *Bounds) Width(p int) float64 { return b.Hi[p] - b.Lo[p] }
+
+// LambdaFunc returns the hold bound λ for an FF pair, or -Inf when
+// unconstrained.
+type LambdaFunc func(from, to int) float64
+
+// NoHoldBounds is a LambdaFunc imposing no constraints.
+func NoHoldBounds(from, to int) float64 { return math.Inf(-1) }
+
+// RunBatchTest executes Procedure 2 on one batch: repeatedly solve the
+// alignment problem for a clock period and buffer values, apply one
+// frequency step to the whole batch, and tighten each path's window from its
+// own pass/fail bit; a path is removed once its window is narrower than ε.
+//
+// It returns the number of tester iterations spent and the time spent in the
+// alignment solver (the paper's Tt component).
+func RunBatchTest(ate *tester.ATE, c *circuit.Circuit, batch []int, b *Bounds, lambda LambdaFunc, cfg Config) (int, time.Duration, error) {
+	active := make([]int, 0, len(batch))
+	for _, p := range batch {
+		if b.Width(p) >= cfg.Eps {
+			active = append(active, p)
+		}
+	}
+	iters := 0
+	var alignDur time.Duration
+	maxIters := cfg.MaxIterPerPath * len(batch)
+	if maxIters == 0 {
+		maxIters = 64 * len(batch)
+	}
+	var prevX []float64
+
+	for len(active) > 0 {
+		if iters >= maxIters {
+			return iters, alignDur, fmt.Errorf("core: batch did not converge in %d iterations", maxIters)
+		}
+		items := make([]alignItem, len(active))
+		for i, p := range active {
+			pt := &c.Paths[p]
+			items[i] = alignItem{
+				path: p, from: pt.From, to: pt.To,
+				lo: b.Lo[p], hi: b.Hi[p],
+				lambda: lambda(pt.From, pt.To),
+			}
+		}
+		assignWeights(items, cfg.WeightK0, cfg.WeightKd)
+
+		start := time.Now()
+		res, err := alignSolve(c, items, prevX, cfg)
+		alignDur += time.Since(start)
+		if err != nil {
+			return iters, alignDur, err
+		}
+		prevX = res.X
+
+		applied, pass, err := ate.Step(res.T, res.X, active)
+		if err != nil {
+			return iters, alignDur, err
+		}
+		iters++
+
+		progressed := false
+		next := active[:0]
+		for i, p := range active {
+			pt := &c.Paths[p]
+			tTilde := applied - res.X[pt.From] + res.X[pt.To]
+			if pass[i] {
+				if tTilde < b.Hi[p] {
+					b.Hi[p] = tTilde
+					progressed = true
+				}
+			} else {
+				if tTilde > b.Lo[p] {
+					b.Lo[p] = tTilde
+					progressed = true
+				}
+			}
+			if b.Width(p) >= cfg.Eps {
+				next = append(next, p)
+			}
+		}
+		active = next
+
+		if !progressed && len(active) > 0 {
+			// Alignment could not place T inside any window (e.g. disjoint
+			// ranges beyond buffer reach, Figure 6e). Bisect the highest
+			// priority path alone to guarantee progress.
+			p := active[0]
+			pt := &c.Paths[p]
+			tSolo := (b.Lo[p]+b.Hi[p])/2 + res.X[pt.From] - res.X[pt.To]
+			if tSolo < 0 {
+				tSolo = 0
+			}
+			appliedSolo, passSolo, err := ate.Step(tSolo, res.X, []int{p})
+			if err != nil {
+				return iters, alignDur, err
+			}
+			iters++
+			tt := appliedSolo - res.X[pt.From] + res.X[pt.To]
+			if passSolo[0] {
+				if tt < b.Hi[p] {
+					b.Hi[p] = tt
+				}
+			} else {
+				if tt > b.Lo[p] {
+					b.Lo[p] = tt
+				}
+			}
+			if b.Width(p) < cfg.Eps {
+				nn := active[:0]
+				for _, q := range active {
+					if q != p {
+						nn = append(nn, q)
+					}
+				}
+				active = nn
+			}
+		}
+	}
+	return iters, alignDur, nil
+}

@@ -1,0 +1,292 @@
+// Package exp regenerates every table and figure of the paper's evaluation:
+// Table 1 (test cost with delay alignment and statistical prediction),
+// Table 2 (yield comparison at T1/T2), Figure 7 (yield with enlarged random
+// variation) and Figure 8 (test comparison without statistical prediction).
+// Each runner returns structured rows; the Format functions render them side
+// by side with the paper's published numbers.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"effitest/internal/baseline"
+	"effitest/internal/circuit"
+	"effitest/internal/core"
+	"effitest/internal/rng"
+	"effitest/internal/tester"
+	"effitest/internal/yield"
+)
+
+// Config parameterizes the experiment harness. Chip counts are deliberately
+// configurable: the paper uses 10 000 simulated chips per circuit, which is
+// reproducible here but slow in CI — EXPERIMENTS.md records the counts used.
+type Config struct {
+	Seed int64
+	// Chips evaluated per circuit for Table 1 cost metrics.
+	CostChips int
+	// Chips evaluated per circuit for yield experiments (Table 2, Fig 7).
+	YieldChips int
+	// Chips for Figure 8 (expensive: all np paths are tested per chip).
+	Fig8Chips int
+	// QuantileChips used to estimate T1/T2 from the no-buffer critical
+	// delay distribution.
+	QuantileChips int
+	// Fig8MaxBatch caps batch sizes in the no-prediction runs to bound the
+	// alignment solve cost (0 = unlimited).
+	Fig8MaxBatch int
+	// Core is the EffiTest flow configuration.
+	Core core.Config
+}
+
+// DefaultConfig returns harness defaults sized for minutes-scale full runs.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		CostChips:     100,
+		YieldChips:    400,
+		Fig8Chips:     5,
+		QuantileChips: 2000,
+		Fig8MaxBatch:  24,
+		Core:          core.DefaultConfig(),
+	}
+}
+
+// chipSeed derives the evaluation-chip stream (distinct from hold-bound
+// sampling inside core).
+func chipSeed(cfg Config, name string) int64 {
+	return rng.Seed(cfg.Seed, "eval-chips", name)
+}
+
+// Table1Row mirrors the paper's Table 1 columns.
+type Table1Row struct {
+	Circuit            string
+	NS, NG, NB, NP     int
+	NPT                int
+	TA, TV             float64 // proposed: iterations per chip, per tested path
+	TPA, TPV           float64 // path-wise: iterations per chip, per path
+	RA, RV             float64 // reduction ratios (%)
+	TP, TT, TS         float64 // runtimes in seconds (offline, align, config)
+	ConfiguredFraction float64
+}
+
+// Table1 reproduces one row of Table 1 for the given benchmark profile.
+func Table1(p circuit.Profile, cfg Config) (Table1Row, error) {
+	c, err := circuit.Generate(p, cfg.Seed)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	plan, err := core.Prepare(c, cfg.Core)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	td := yield.PeriodQuantile(c, rng.Seed(cfg.Seed, "quantile", p.Name), cfg.QuantileChips, 0.8413)
+
+	row := Table1Row{
+		Circuit: p.Name,
+		NS:      p.NumFF, NG: p.NumGates, NB: p.NumBuffers, NP: p.NumPaths,
+		NPT: plan.NumTested(),
+		TP:  plan.PrepDuration.Seconds(),
+	}
+
+	seed := chipSeed(cfg, p.Name)
+	all := make([]int, c.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	var sumTA, sumTPA int
+	var alignDur, cfgDur time.Duration
+	var configured int
+	for i := 0; i < cfg.CostChips; i++ {
+		ch := tester.SampleChip(c, seed, i)
+		out, err := plan.RunChip(ch, td)
+		if err != nil {
+			return row, err
+		}
+		sumTA += out.Iterations
+		alignDur += out.AlignDuration
+		cfgDur += out.ConfigDuration
+		if out.Configured {
+			configured++
+		}
+
+		ateBase := tester.NewATE(ch, cfg.Core.TesterResolution)
+		iters, _, err := baseline.Pathwise(ateBase, c, all, cfg.Core)
+		if err != nil {
+			return row, err
+		}
+		sumTPA += iters
+	}
+	n := float64(cfg.CostChips)
+	row.TA = float64(sumTA) / n
+	row.TV = row.TA / float64(row.NPT)
+	row.TPA = float64(sumTPA) / n
+	row.TPV = row.TPA / float64(row.NP)
+	row.RA = 100 * (row.TPA - row.TA) / row.TPA
+	row.RV = 100 * (row.TPV - row.TV) / row.TPV
+	row.TT = alignDur.Seconds() / n
+	row.TS = cfgDur.Seconds() / n
+	row.ConfiguredFraction = float64(configured) / n
+	return row, nil
+}
+
+// Table2Row mirrors the paper's Table 2 (yields at T1 and T2).
+type Table2Row struct {
+	Circuit                string
+	T1, T2                 float64
+	T1YI, T1YT, T1YR       float64 // percent
+	T2YI, T2YT, T2YR       float64 // percent
+	T1NoBuffer, T2NoBuffer float64 // percent (sanity: ≈50 and ≈84.13)
+}
+
+// Table2 reproduces one row of Table 2.
+func Table2(p circuit.Profile, cfg Config) (Table2Row, error) {
+	c, err := circuit.Generate(p, cfg.Seed)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	plan, err := core.Prepare(c, cfg.Core)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	qseed := rng.Seed(cfg.Seed, "quantile", p.Name)
+	t1 := yield.PeriodQuantile(c, qseed, cfg.QuantileChips, 0.50)
+	t2 := yield.PeriodQuantile(c, qseed, cfg.QuantileChips, 0.8413)
+
+	chips := tester.SampleChips(c, chipSeed(cfg, p.Name), cfg.YieldChips)
+	row := Table2Row{Circuit: p.Name, T1: t1, T2: t2}
+	for i, T := range []float64{t1, t2} {
+		yi := 100 * yield.Ideal(c, chips, T)
+		st, err := yield.Proposed(plan, chips, T)
+		if err != nil {
+			return row, err
+		}
+		yt := 100 * st.Yield
+		nb := 100 * yield.NoBuffer(chips, T)
+		if i == 0 {
+			row.T1YI, row.T1YT, row.T1YR, row.T1NoBuffer = yi, yt, yi-yt, nb
+		} else {
+			row.T2YI, row.T2YT, row.T2YR, row.T2NoBuffer = yi, yt, yi-yt, nb
+		}
+	}
+	return row, nil
+}
+
+// Fig7Row is one bar group of Figure 7: yields with standard deviations
+// inflated by 10% (covariances unchanged).
+type Fig7Row struct {
+	Circuit  string
+	NoBuffer float64 // percent
+	Proposed float64
+	Ideal    float64
+}
+
+// Fig7 reproduces one bar group of Figure 7. The clock period is calibrated
+// on the *original* circuit (T2, 84.13% base yield); the inflated randomness
+// then degrades all three cases, with the buffered ones staying far ahead.
+func Fig7(p circuit.Profile, cfg Config) (Fig7Row, error) {
+	c, err := circuit.Generate(p, cfg.Seed)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	t2 := yield.PeriodQuantile(c, rng.Seed(cfg.Seed, "quantile", p.Name), cfg.QuantileChips, 0.8413)
+	inflated, err := c.WithInflatedSigma(1.1)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	plan, err := core.Prepare(inflated, cfg.Core)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	chips := tester.SampleChips(inflated, chipSeed(cfg, p.Name+"-fig7"), cfg.YieldChips)
+	st, err := yield.Proposed(plan, chips, t2)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	return Fig7Row{
+		Circuit:  p.Name,
+		NoBuffer: 100 * yield.NoBuffer(chips, t2),
+		Proposed: 100 * st.Yield,
+		Ideal:    100 * yield.Ideal(inflated, chips, t2),
+	}, nil
+}
+
+// Fig8Row is one bar group of Figure 8: test iterations per path without
+// statistical prediction (all np paths measured).
+type Fig8Row struct {
+	Circuit   string
+	Pathwise  float64 // iterations per path, path-wise stepping
+	Multiplex float64 // multiplexing without alignment
+	Proposed  float64 // multiplexing with delay alignment
+}
+
+// Fig8 reproduces one bar group of Figure 8.
+func Fig8(p circuit.Profile, cfg Config) (Fig8Row, error) {
+	c, err := circuit.Generate(p, cfg.Seed)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	runCfg := cfg.Core
+	runCfg.MaxBatch = cfg.Fig8MaxBatch
+	hb, err := core.ComputeHoldBounds(c, runCfg)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	all := make([]int, c.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	seed := chipSeed(cfg, p.Name+"-fig8")
+	var sumPW, sumMux, sumAligned int
+	for i := 0; i < cfg.Fig8Chips; i++ {
+		ch := tester.SampleChip(c, seed, i)
+
+		ate1 := tester.NewATE(ch, runCfg.TesterResolution)
+		pw, _, err := baseline.Pathwise(ate1, c, all, runCfg)
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		sumPW += pw
+
+		ate2 := tester.NewATE(ch, runCfg.TesterResolution)
+		mux, _, err := baseline.Multiplex(ate2, c, all, hb.Lambda, runCfg, false)
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		sumMux += mux
+
+		ate3 := tester.NewATE(ch, runCfg.TesterResolution)
+		al, _, err := baseline.Multiplex(ate3, c, all, hb.Lambda, runCfg, true)
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		sumAligned += al
+	}
+	denom := float64(cfg.Fig8Chips) * float64(c.NumPaths())
+	return Fig8Row{
+		Circuit:   p.Name,
+		Pathwise:  float64(sumPW) / denom,
+		Multiplex: float64(sumMux) / denom,
+		Proposed:  float64(sumAligned) / denom,
+	}, nil
+}
+
+// Profiles resolves a comma-separated circuit list ("all" or empty = every
+// Table 1 circuit).
+func Profiles(names []string) ([]circuit.Profile, error) {
+	if len(names) == 0 {
+		return circuit.Table1Profiles, nil
+	}
+	var out []circuit.Profile
+	for _, n := range names {
+		if n == "all" {
+			return circuit.Table1Profiles, nil
+		}
+		p, ok := circuit.ProfileByName(n)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown circuit %q", n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

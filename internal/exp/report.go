@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTable1CSV emits measured Table 1 rows as CSV (machine-readable
+// counterpart of FormatTable1).
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"circuit", "ns", "ng", "nb", "np", "npt",
+		"ta", "tv", "tpa", "tpv", "ra_pct", "rv_pct", "tp_s", "tt_s", "ts_s", "configured_frac"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Circuit,
+			strconv.Itoa(r.NS), strconv.Itoa(r.NG), strconv.Itoa(r.NB), strconv.Itoa(r.NP), strconv.Itoa(r.NPT),
+			f(r.TA), f(r.TV), f(r.TPA), f(r.TPV), f(r.RA), f(r.RV), f(r.TP), f(r.TT), f(r.TS), f(r.ConfiguredFraction),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV emits measured Table 2 rows as CSV.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"circuit", "t1_ns", "t2_ns",
+		"t1_nobuffer_pct", "t1_yi_pct", "t1_yt_pct", "t1_yr_pct",
+		"t2_nobuffer_pct", "t2_yi_pct", "t2_yt_pct", "t2_yr_pct"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Circuit, f(r.T1), f(r.T2),
+			f(r.T1NoBuffer), f(r.T1YI), f(r.T1YT), f(r.T1YR),
+			f(r.T2NoBuffer), f(r.T2YI), f(r.T2YT), f(r.T2YR)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report bundles every measured artifact for JSON export.
+type Report struct {
+	Seed   int64       `json:"seed"`
+	Table1 []Table1Row `json:"table1,omitempty"`
+	Table2 []Table2Row `json:"table2,omitempty"`
+	Fig7   []Fig7Row   `json:"fig7,omitempty"`
+	Fig8   []Fig8Row   `json:"fig8,omitempty"`
+}
+
+// WriteJSON emits the report with stable indentation.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReportJSON parses a report written by WriteJSON.
+func ReadReportJSON(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("exp: report decode: %w", err)
+	}
+	return &rep, nil
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Seed: 7,
+		Table1: []Table1Row{{Circuit: "s9234", NS: 211, NG: 5597, NB: 2, NP: 80, NPT: 10,
+			TA: 30.5, TV: 3.05, TPA: 700, TPV: 8.75, RA: 95.6, RV: 65.1, TP: 0.1, TT: 0.01, TS: 0.001,
+			ConfiguredFraction: 1}},
+		Table2: []Table2Row{{Circuit: "s9234", T1: 1.1, T2: 1.2,
+			T1NoBuffer: 50, T1YI: 77, T1YT: 75, T1YR: 2, T2NoBuffer: 84, T2YI: 95, T2YT: 94, T2YR: 1}},
+		Fig7: []Fig7Row{{Circuit: "s9234", NoBuffer: 60, Proposed: 85, Ideal: 90}},
+		Fig8: []Fig8Row{{Circuit: "s9234", Pathwise: 9, Multiplex: 6, Proposed: 3.5}},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != rep.Seed {
+		t.Fatal("seed lost")
+	}
+	if len(got.Table1) != 1 || got.Table1[0].RA != rep.Table1[0].RA {
+		t.Fatal("table1 row lost")
+	}
+	if got.Table2[0].T1YI != 77 || got.Fig7[0].Ideal != 90 || got.Fig8[0].Proposed != 3.5 {
+		t.Fatal("rows corrupted")
+	}
+}
+
+func TestReadReportJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadReportJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestTable1CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf, sampleReport().Table1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "circuit,ns,ng") {
+		t.Fatalf("header wrong: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "s9234,211,5597") {
+		t.Fatalf("row wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[1], "95.6") {
+		t.Fatal("ra missing from CSV")
+	}
+}
+
+func TestTable2CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, sampleReport().Table2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[1], "s9234") {
+		t.Fatalf("bad CSV: %v", lines)
+	}
+}

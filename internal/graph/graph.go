@@ -1,0 +1,214 @@
+// Package graph provides the directed-graph algorithms behind EffiTest's
+// timing machinery: Bellman–Ford (difference-constraint feasibility with
+// negative-cycle detection), Karp's minimum/maximum cycle mean (minimum
+// clock period under skew scheduling), topological ordering and connected
+// components.
+package graph
+
+import (
+	"math"
+)
+
+// Edge is a weighted directed edge.
+type Edge struct {
+	From, To int
+	W        float64
+}
+
+// Digraph is a directed graph over nodes 0..N-1.
+type Digraph struct {
+	N     int
+	edges []Edge
+	adj   [][]int // adjacency as indices into edges
+}
+
+// NewDigraph returns an empty graph with n nodes.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{N: n, adj: make([][]int, n)}
+}
+
+// AddEdge appends a directed edge from u to v with weight w.
+func (g *Digraph) AddEdge(u, v int, w float64) {
+	g.edges = append(g.edges, Edge{u, v, w})
+	g.adj[u] = append(g.adj[u], len(g.edges)-1)
+}
+
+// Edges returns the edge list (shared slice; callers must not modify).
+func (g *Digraph) Edges() []Edge { return g.edges }
+
+// BellmanFord computes single-source shortest paths from src. It returns the
+// distance slice and ok=false if a negative cycle is reachable from src.
+// Unreachable nodes have distance +Inf.
+func (g *Digraph) BellmanFord(src int) (dist []float64, ok bool) {
+	dist = make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	return dist, g.relaxAll(dist)
+}
+
+// BellmanFordMulti runs Bellman–Ford with all nodes as sources (distance 0),
+// which detects any negative cycle in the graph and yields a feasible
+// potential for difference-constraint systems.
+func (g *Digraph) BellmanFordMulti() (dist []float64, ok bool) {
+	dist = make([]float64, g.N) // all zeros
+	return dist, g.relaxAll(dist)
+}
+
+func (g *Digraph) relaxAll(dist []float64) bool {
+	for iter := 0; iter < g.N; iter++ {
+		changed := false
+		for _, e := range g.edges {
+			if math.IsInf(dist[e.From], 1) {
+				continue
+			}
+			if nd := dist[e.From] + e.W; nd < dist[e.To]-1e-12 {
+				dist[e.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	// One more pass: any improvement means a negative cycle.
+	for _, e := range g.edges {
+		if math.IsInf(dist[e.From], 1) {
+			continue
+		}
+		if dist[e.From]+e.W < dist[e.To]-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// MinMeanCycle returns the minimum cycle mean using Karp's theorem, with
+// ok=false if the graph is acyclic.
+func (g *Digraph) MinMeanCycle() (float64, bool) {
+	n := g.N
+	if n == 0 {
+		return 0, false
+	}
+	// D[k][v] = min weight of a walk with exactly k edges ending at v,
+	// starting anywhere (multi-source).
+	prev := make([]float64, n) // all zeros: D[0]
+	cur := make([]float64, n)
+	// Keep all D[k] because Karp's formula needs them.
+	all := make([][]float64, n+1)
+	all[0] = append([]float64(nil), prev...)
+	for k := 1; k <= n; k++ {
+		for v := range cur {
+			cur[v] = math.Inf(1)
+		}
+		for _, e := range g.edges {
+			if math.IsInf(prev[e.From], 1) {
+				continue
+			}
+			if nd := prev[e.From] + e.W; nd < cur[e.To] {
+				cur[e.To] = nd
+			}
+		}
+		all[k] = append([]float64(nil), cur...)
+		prev, cur = cur, prev
+	}
+	best := math.Inf(1)
+	found := false
+	for v := 0; v < n; v++ {
+		dn := all[n][v]
+		if math.IsInf(dn, 1) {
+			continue
+		}
+		worst := math.Inf(-1)
+		for k := 0; k < n; k++ {
+			dk := all[k][v]
+			if math.IsInf(dk, 1) {
+				continue
+			}
+			if r := (dn - dk) / float64(n-k); r > worst {
+				worst = r
+			}
+		}
+		if !math.IsInf(worst, -1) && worst < best {
+			best = worst
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MaxMeanCycle returns the maximum cycle mean (minimum feasible clock period
+// in skew scheduling), with ok=false for acyclic graphs.
+func (g *Digraph) MaxMeanCycle() (float64, bool) {
+	neg := NewDigraph(g.N)
+	for _, e := range g.edges {
+		neg.AddEdge(e.From, e.To, -e.W)
+	}
+	m, ok := neg.MinMeanCycle()
+	return -m, ok
+}
+
+// TopoSort returns a topological order of the nodes, with ok=false if the
+// graph has a cycle.
+func (g *Digraph) TopoSort() ([]int, bool) {
+	indeg := make([]int, g.N)
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	queue := make([]int, 0, g.N)
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.N)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range g.adj[v] {
+			e := g.edges[ei]
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return order, len(order) == g.N
+}
+
+// Components returns the weakly connected component id of every node and the
+// number of components.
+func (g *Digraph) Components() ([]int, int) {
+	und := make([][]int, g.N)
+	for _, e := range g.edges {
+		und[e.From] = append(und[e.From], e.To)
+		und[e.To] = append(und[e.To], e.From)
+	}
+	comp := make([]int, g.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []int
+	for v := 0; v < g.N; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		stack = append(stack[:0], v)
+		comp[v] = next
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range und[u] {
+				if comp[w] < 0 {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}

@@ -1,0 +1,79 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeedDeterministic(t *testing.T) {
+	a := Seed(42, "chips", "7")
+	b := Seed(42, "chips", "7")
+	if a != b {
+		t.Fatalf("same labels gave different seeds: %d vs %d", a, b)
+	}
+}
+
+func TestSeedLabelSeparation(t *testing.T) {
+	// ("ab","c") must differ from ("a","bc") — the separator byte matters.
+	if Seed(1, "ab", "c") == Seed(1, "a", "bc") {
+		t.Fatal("label concatenation collision")
+	}
+}
+
+func TestSeedVariesWithRoot(t *testing.T) {
+	f := func(r1, r2 int64) bool {
+		if r1 == r2 {
+			return true
+		}
+		return Seed(r1, "x") != Seed(r2, "x")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewIndexedDistinct(t *testing.T) {
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		r := NewIndexed(9, i, "chip")
+		v := r.Float64()
+		if seen[v] {
+			t.Fatalf("duplicate first draw for index %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNewReproducibleStream(t *testing.T) {
+	r1 := New(5, "a")
+	r2 := New(5, "a")
+	for i := 0; i < 10; i++ {
+		if r1.Float64() != r2.Float64() {
+			t.Fatal("streams diverged")
+		}
+	}
+}
+
+func TestNormVec(t *testing.T) {
+	r := New(3, "norm")
+	v := NormVec(r, 10000)
+	if len(v) != 10000 {
+		t.Fatalf("len = %d", len(v))
+	}
+	mean := 0.0
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("mean of 10k standard normals = %v, want ~0", mean)
+	}
+	va := 0.0
+	for _, x := range v {
+		va += (x - mean) * (x - mean)
+	}
+	va /= float64(len(v) - 1)
+	if va < 0.9 || va > 1.1 {
+		t.Fatalf("variance = %v, want ~1", va)
+	}
+}

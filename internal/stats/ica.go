@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"effitest/internal/la"
+)
+
+// ICA is the result of an independent component analysis: X ≈ S·Mixing
+// where the rows of S (returned by Transform) are maximally non-Gaussian
+// independent sources.
+//
+// The paper's §3.1 notes that for non-Gaussian process variations the
+// Gaussian conditional estimator can be replaced by an ICA-based expansion
+// (citing Singh & Sapatnekar). This implementation is FastICA with deflation
+// and the tanh contrast, operating on whitened data.
+type ICA struct {
+	Components int
+	Mean       []float64  // per-variable mean of the training data
+	Unmixing   *la.Matrix // Components × variables: s = Unmixing·(x - mean)
+}
+
+// FastICAOptions tunes the solver.
+type FastICAOptions struct {
+	Components int     // number of sources to extract (0 = all variables)
+	MaxIter    int     // per-component iterations (0 = 200)
+	Tol        float64 // convergence tolerance on |<w, w_prev>| (0 = 1e-6)
+	Seed       int64   // deterministic initialization
+}
+
+// FastICA extracts independent components from data rows (observations ×
+// variables). The data is centered and whitened internally.
+func FastICA(data *la.Matrix, opt FastICAOptions) (*ICA, error) {
+	nObs, nVar := data.Rows, data.Cols
+	if nObs < 2 || nVar < 1 {
+		return nil, errors.New("stats: FastICA needs at least 2 observations and 1 variable")
+	}
+	k := opt.Components
+	if k <= 0 || k > nVar {
+		k = nVar
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+
+	// Center.
+	mean := make([]float64, nVar)
+	for c := 0; c < nVar; c++ {
+		s := 0.0
+		for r := 0; r < nObs; r++ {
+			s += data.At(r, c)
+		}
+		mean[c] = s / float64(nObs)
+	}
+	x := la.NewMatrix(nObs, nVar)
+	for r := 0; r < nObs; r++ {
+		for c := 0; c < nVar; c++ {
+			x.Set(r, c, data.At(r, c)-mean[c])
+		}
+	}
+
+	// Whiten: cov = E D Eᵀ, whitener W0 = D^{-1/2} Eᵀ (keep top-k space).
+	cov := x.T().Mul(x).Scale(1 / float64(nObs-1))
+	vals, vecs, err := la.EigenSym(cov, 0)
+	if err != nil {
+		return nil, err
+	}
+	kept := 0
+	for kept < nVar && vals[kept] > 1e-12 {
+		kept++
+	}
+	if kept < k {
+		k = kept
+	}
+	if k == 0 {
+		return nil, errors.New("stats: FastICA on degenerate (constant) data")
+	}
+	w0 := la.NewMatrix(k, nVar) // whitener rows
+	for i := 0; i < k; i++ {
+		inv := 1 / math.Sqrt(vals[i])
+		for c := 0; c < nVar; c++ {
+			w0.Set(i, c, inv*vecs.At(c, i))
+		}
+	}
+	// Whitened data Z = X·W0ᵀ (nObs × k).
+	z := x.Mul(w0.T())
+
+	// Deflationary FastICA with tanh contrast.
+	r := rand.New(rand.NewSource(opt.Seed + 12345))
+	wRows := la.NewMatrix(k, k)
+	for comp := 0; comp < k; comp++ {
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = r.NormFloat64()
+		}
+		normalize(w)
+		for iter := 0; iter < maxIter; iter++ {
+			// w+ = E[z g(wᵀz)] − E[g'(wᵀz)] w,  g = tanh.
+			newW := make([]float64, k)
+			gSum := 0.0
+			for obs := 0; obs < nObs; obs++ {
+				row := z.Data[obs*k : (obs+1)*k]
+				u := la.Dot(w, row)
+				g := math.Tanh(u)
+				gPrime := 1 - g*g
+				for i := range newW {
+					newW[i] += row[i] * g
+				}
+				gSum += gPrime
+			}
+			for i := range newW {
+				newW[i] = newW[i]/float64(nObs) - gSum/float64(nObs)*w[i]
+			}
+			// Gram-Schmidt against earlier components.
+			for prev := 0; prev < comp; prev++ {
+				p := wRows.Row(prev)
+				d := la.Dot(newW, p)
+				for i := range newW {
+					newW[i] -= d * p[i]
+				}
+			}
+			normalize(newW)
+			conv := math.Abs(la.Dot(newW, w))
+			copy(w, newW)
+			if conv > 1-tol {
+				break
+			}
+		}
+		for i, v := range w {
+			wRows.Set(comp, i, v)
+		}
+	}
+
+	// Unmixing in original coordinates: s = Wrows · W0 · (x - mean).
+	return &ICA{Components: k, Mean: mean, Unmixing: wRows.Mul(w0)}, nil
+}
+
+// Transform maps observations (rows) to source space (rows × components).
+func (ic *ICA) Transform(data *la.Matrix) *la.Matrix {
+	out := la.NewMatrix(data.Rows, ic.Components)
+	for r := 0; r < data.Rows; r++ {
+		for c := 0; c < ic.Components; c++ {
+			s := 0.0
+			for v := 0; v < data.Cols; v++ {
+				s += ic.Unmixing.At(c, v) * (data.At(r, v) - ic.Mean[v])
+			}
+			out.Set(r, c, s)
+		}
+	}
+	return out
+}
+
+// Kurtosis returns the excess kurtosis of a series — the classic
+// non-Gaussianity measure ICA maximizes (0 for a Gaussian).
+func Kurtosis(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 4 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m4 += d * d * d * d
+	}
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m4/(m2*m2) - 3
+}
+
+func normalize(v []float64) {
+	n := la.Norm2(v)
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"effitest/internal/la"
+	"effitest/internal/rng"
+)
+
+// mixSources builds observations of linear mixtures of independent
+// non-Gaussian sources.
+func mixSources(n int, mixing [][]float64, seed int64) (*la.Matrix, *la.Matrix) {
+	r := rng.New(seed, "ica-sources")
+	k := len(mixing)
+	v := len(mixing[0])
+	src := la.NewMatrix(n, k)
+	for i := 0; i < n; i++ {
+		// Source 0: uniform (sub-Gaussian); source 1: Laplacian-ish
+		// (super-Gaussian); further sources alternate.
+		for j := 0; j < k; j++ {
+			if j%2 == 0 {
+				src.Set(i, j, r.Float64()*2-1)
+			} else {
+				// double-exponential via inverse CDF
+				u := r.Float64() - 0.5
+				src.Set(i, j, -math.Copysign(math.Log(1-2*math.Abs(u)), u)/math.Sqrt2)
+			}
+		}
+	}
+	obs := la.NewMatrix(n, v)
+	for i := 0; i < n; i++ {
+		for c := 0; c < v; c++ {
+			s := 0.0
+			for j := 0; j < k; j++ {
+				s += src.At(i, j) * mixing[j][c]
+			}
+			obs.Set(i, c, s)
+		}
+	}
+	return obs, src
+}
+
+func TestFastICASeparatesTwoSources(t *testing.T) {
+	mixing := [][]float64{{1, 0.6}, {0.5, 1}}
+	obs, src := mixSources(6000, mixing, 3)
+	ica, err := FastICA(obs, FastICAOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ica.Transform(obs)
+	// Each recovered component must be highly correlated (up to sign and
+	// permutation) with exactly one true source.
+	for comp := 0; comp < 2; comp++ {
+		recCol := rec.Col(comp)
+		best := 0.0
+		for s := 0; s < 2; s++ {
+			c := math.Abs(Correlation(recCol, src.Col(s)))
+			if c > best {
+				best = c
+			}
+		}
+		if best < 0.95 {
+			t.Fatalf("component %d correlates at most %.3f with any source", comp, best)
+		}
+	}
+	// And the two components must match different sources.
+	c00 := math.Abs(Correlation(rec.Col(0), src.Col(0)))
+	c01 := math.Abs(Correlation(rec.Col(0), src.Col(1)))
+	c10 := math.Abs(Correlation(rec.Col(1), src.Col(0)))
+	c11 := math.Abs(Correlation(rec.Col(1), src.Col(1)))
+	sameAssignment := (c00 > c01) == (c10 > c11)
+	if sameAssignment {
+		t.Fatalf("both components matched the same source: %v %v %v %v", c00, c01, c10, c11)
+	}
+}
+
+func TestFastICARecoversNonGaussianity(t *testing.T) {
+	// Mixing makes the observed columns closer to Gaussian (CLT); unmixing
+	// must push kurtosis back away from 0 for the super-Gaussian source.
+	mixing := [][]float64{{1, 0.8}, {0.7, 1}}
+	obs, _ := mixSources(8000, mixing, 5)
+	ica, err := FastICA(obs, FastICAOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ica.Transform(obs)
+	// One source is uniform (kurtosis -1.2), one Laplacian (kurtosis +3).
+	k0 := Kurtosis(rec.Col(0))
+	k1 := Kurtosis(rec.Col(1))
+	lo, hi := math.Min(k0, k1), math.Max(k0, k1)
+	if lo > -0.6 {
+		t.Fatalf("no sub-Gaussian component recovered: kurtoses %v %v", k0, k1)
+	}
+	if hi < 1.0 {
+		t.Fatalf("no super-Gaussian component recovered: kurtoses %v %v", k0, k1)
+	}
+}
+
+func TestFastICADegenerateInputs(t *testing.T) {
+	if _, err := FastICA(la.NewMatrix(1, 3), FastICAOptions{}); err == nil {
+		t.Fatal("too few observations should fail")
+	}
+	constant := la.NewMatrix(10, 2) // all zeros
+	if _, err := FastICA(constant, FastICAOptions{}); err == nil {
+		t.Fatal("constant data should fail")
+	}
+}
+
+func TestKurtosis(t *testing.T) {
+	r := rng.New(7, "kurt")
+	gauss := make([]float64, 50000)
+	for i := range gauss {
+		gauss[i] = r.NormFloat64()
+	}
+	if k := Kurtosis(gauss); math.Abs(k) > 0.1 {
+		t.Fatalf("Gaussian kurtosis = %v, want ≈ 0", k)
+	}
+	uniform := make([]float64, 50000)
+	for i := range uniform {
+		uniform[i] = r.Float64()
+	}
+	if k := Kurtosis(uniform); math.Abs(k-(-1.2)) > 0.1 {
+		t.Fatalf("uniform kurtosis = %v, want ≈ -1.2", k)
+	}
+	if Kurtosis([]float64{1, 2}) != 0 {
+		t.Fatal("tiny series should return 0")
+	}
+	if Kurtosis([]float64{3, 3, 3, 3, 3}) != 0 {
+		t.Fatal("constant series should return 0")
+	}
+}

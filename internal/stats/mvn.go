@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"effitest/internal/la"
+)
+
+// MVN is a multivariate normal distribution N(Mu, Sigma).
+type MVN struct {
+	Mu    []float64
+	Sigma *la.Matrix
+
+	chol  *la.Matrix // lazily computed Cholesky factor (possibly ridged)
+	ridge float64
+}
+
+// NewMVN constructs a multivariate normal. Sigma must be square and match
+// len(mu); it is not factorized until needed.
+func NewMVN(mu []float64, sigma *la.Matrix) (*MVN, error) {
+	if sigma.Rows != sigma.Cols {
+		return nil, errors.New("stats: covariance must be square")
+	}
+	if len(mu) != sigma.Rows {
+		return nil, fmt.Errorf("stats: mean length %d != covariance order %d", len(mu), sigma.Rows)
+	}
+	return &MVN{Mu: mu, Sigma: sigma}, nil
+}
+
+// Dim returns the dimensionality.
+func (m *MVN) Dim() int { return len(m.Mu) }
+
+func (m *MVN) factor() error {
+	if m.chol != nil {
+		return nil
+	}
+	l, ridge, err := la.CholeskyRidge(m.Sigma, 1e-10, 12)
+	if err != nil {
+		return fmt.Errorf("stats: covariance not factorizable: %w", err)
+	}
+	m.chol, m.ridge = l, ridge
+	return nil
+}
+
+// Sample draws one sample using the provided random stream.
+func (m *MVN) Sample(r *rand.Rand) ([]float64, error) {
+	if err := m.factor(); err != nil {
+		return nil, err
+	}
+	n := m.Dim()
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = r.NormFloat64()
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := m.Mu[i]
+		for k := 0; k <= i; k++ {
+			s += m.chol.At(i, k) * z[k]
+		}
+		x[i] = s
+	}
+	return x, nil
+}
+
+// SampleN draws n samples as rows of a matrix.
+func (m *MVN) SampleN(r *rand.Rand, n int) (*la.Matrix, error) {
+	out := la.NewMatrix(n, m.Dim())
+	for i := 0; i < n; i++ {
+		x, err := m.Sample(r)
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Data[i*out.Cols:(i+1)*out.Cols], x)
+	}
+	return out, nil
+}
+
+// Conditional computes the conditional distribution of the variables at
+// indices `unknown` given that the variables at indices `known` have been
+// observed at the given values. This is the paper's Eqs. (4)–(5):
+//
+//	μ'  = μ_u + Σ_ut Σ_t⁻¹ (observed − μ_t)
+//	Σ'  = Σ_u − Σ_ut Σ_t⁻¹ Σ_tu
+//
+// The returned MVN has dimension len(unknown). Indices must be disjoint.
+func (m *MVN) Conditional(unknown, known []int, observed []float64) (*MVN, error) {
+	if len(known) != len(observed) {
+		return nil, errors.New("stats: observed values length mismatch")
+	}
+	if len(known) == 0 {
+		sub := m.Sigma.Submatrix(unknown, unknown)
+		mu := make([]float64, len(unknown))
+		for i, u := range unknown {
+			mu[i] = m.Mu[u]
+		}
+		return NewMVN(mu, sub)
+	}
+	seen := map[int]bool{}
+	for _, k := range known {
+		seen[k] = true
+	}
+	for _, u := range unknown {
+		if seen[u] {
+			return nil, fmt.Errorf("stats: index %d is both known and unknown", u)
+		}
+	}
+
+	sigT := m.Sigma.Submatrix(known, known)    // Σ_t
+	sigUT := m.Sigma.Submatrix(unknown, known) // Σ_ut
+	sigU := m.Sigma.Submatrix(unknown, unknown)
+
+	lt, _, err := la.CholeskyRidge(sigT, 1e-10, 12)
+	if err != nil {
+		return nil, fmt.Errorf("stats: conditional: Σ_t not factorizable: %w", err)
+	}
+
+	// delta = observed - μ_t ; w = Σ_t⁻¹ delta.
+	delta := make([]float64, len(known))
+	for i, k := range known {
+		delta[i] = observed[i] - m.Mu[k]
+	}
+	w := la.CholSolve(lt, delta)
+
+	muPrime := make([]float64, len(unknown))
+	for i, u := range unknown {
+		muPrime[i] = m.Mu[u] + la.Dot(sigUT.Row(i), w)
+	}
+
+	// Σ' = Σ_u − Σ_ut Σ_t⁻¹ Σ_tu. Solve per column of Σ_tu = Σ_utᵀ.
+	nt, nu := len(known), len(unknown)
+	corr := la.NewMatrix(nu, nu)
+	col := make([]float64, nt)
+	for j := 0; j < nu; j++ {
+		for i := 0; i < nt; i++ {
+			col[i] = sigUT.At(j, i)
+		}
+		x := la.CholSolve(lt, col)
+		for i := 0; i < nu; i++ {
+			corr.Set(i, j, la.Dot(sigUT.Row(i), x))
+		}
+	}
+	sigPrime := sigU.SubM(corr)
+	// Clamp tiny negative diagonals introduced by round-off: conditional
+	// variances are mathematically non-negative.
+	for i := 0; i < nu; i++ {
+		if sigPrime.At(i, i) < 0 {
+			sigPrime.Set(i, i, 0)
+		}
+	}
+	// Symmetrize.
+	for i := 0; i < nu; i++ {
+		for j := i + 1; j < nu; j++ {
+			v := 0.5 * (sigPrime.At(i, j) + sigPrime.At(j, i))
+			sigPrime.Set(i, j, v)
+			sigPrime.Set(j, i, v)
+		}
+	}
+	return NewMVN(muPrime, sigPrime)
+}

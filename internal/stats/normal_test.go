@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"effitest/internal/la"
+)
+
+func TestStdCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.6448536269514722, 0.95},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := StdCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("StdCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStdQuantileRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 1)
+		if p == 0 || p == 1 || math.IsNaN(p) {
+			return true
+		}
+		x := StdQuantile(p)
+		return math.Abs(StdCDF(x)-p) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdQuantileTails(t *testing.T) {
+	if got := StdQuantile(0.5); math.Abs(got) > 1e-13 {
+		t.Errorf("StdQuantile(0.5) = %v, want 0", got)
+	}
+	if got := StdQuantile(0.9986501019683699); math.Abs(got-3) > 1e-9 {
+		t.Errorf("StdQuantile(Φ(3)) = %v, want 3", got)
+	}
+	if !math.IsInf(StdQuantile(0), -1) || !math.IsInf(StdQuantile(1), 1) {
+		t.Error("quantile at 0/1 should be ±Inf")
+	}
+	if !math.IsNaN(StdQuantile(-0.5)) {
+		t.Error("quantile outside (0,1) should be NaN")
+	}
+}
+
+func TestNormalPDFCDFConsistency(t *testing.T) {
+	n := Normal{Mu: 2, Sigma: 3}
+	// Numerical derivative of the CDF should equal the PDF.
+	for _, x := range []float64{-4, 0, 2, 5, 9} {
+		h := 1e-5
+		num := (n.CDF(x+h) - n.CDF(x-h)) / (2 * h)
+		if math.Abs(num-n.PDF(x)) > 1e-6 {
+			t.Errorf("dCDF/dx at %v = %v, PDF = %v", x, num, n.PDF(x))
+		}
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 2}
+	if got := n.Quantile(0.8413447460685429); math.Abs(got-12) > 1e-9 {
+		t.Errorf("Quantile = %v, want 12", got)
+	}
+}
+
+func TestNormalDegenerate(t *testing.T) {
+	n := Normal{Mu: 1, Sigma: 0}
+	if n.CDF(0.999) != 0 || n.CDF(1) != 1 {
+		t.Error("point-mass CDF wrong")
+	}
+	if n.PDF(0) != 0 || !math.IsInf(n.PDF(1), 1) {
+		t.Error("point-mass PDF wrong")
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestQuantileEmpirical(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %v, want 3", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %v, want 2", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(xs, ys); math.Abs(c-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(xs, neg); math.Abs(c+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", c)
+	}
+	if Correlation(xs, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Error("constant series should give 0 correlation")
+	}
+}
+
+func TestCovToCorr(t *testing.T) {
+	cov := la.NewMatrixFrom([][]float64{{4, 2}, {2, 9}})
+	corr := CovToCorr(cov)
+	if corr.At(0, 0) != 1 || corr.At(1, 1) != 1 {
+		t.Error("diagonal should be 1")
+	}
+	want := 2.0 / 6.0
+	if math.Abs(corr.At(0, 1)-want) > 1e-12 {
+		t.Errorf("corr = %v, want %v", corr.At(0, 1), want)
+	}
+}
+
+func TestEmpiricalMomentsOfSampler(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n := Normal{Mu: -3, Sigma: 0.5}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = n.Mu + n.Sigma*r.NormFloat64()
+	}
+	if m := Mean(xs); math.Abs(m-(-3)) > 0.02 {
+		t.Errorf("sample mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-0.5) > 0.02 {
+		t.Errorf("sample sd = %v", s)
+	}
+}

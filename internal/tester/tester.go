@@ -1,0 +1,238 @@
+// Package tester simulates the post-silicon test environment: manufactured
+// chip instances (per-die realizations of the statistical delay model), the
+// scan chain that shifts buffer configuration bits in with test vectors, and
+// the frequency-stepping oracle of an ATE. The tester's iteration counter is
+// the paper's cost metric (columns ta / t′a of Table 1).
+package tester
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"effitest/internal/circuit"
+	"effitest/internal/rng"
+	"effitest/internal/skew"
+)
+
+// Chip is one manufactured die: exact realized path delays, unknown to the
+// test algorithms except through frequency-step pass/fail results.
+type Chip struct {
+	Circuit *circuit.Circuit
+	Index   int
+	TrueMax []float64 // realized max delay per path (setup folded)
+	TrueMin []float64 // realized min delay per path
+}
+
+// SampleChip manufactures chip `index` from the circuit's variation model,
+// deterministically in (seed, index).
+func SampleChip(c *circuit.Circuit, seed int64, index int) *Chip {
+	r := rng.NewIndexed(seed, index, "chip", c.Name)
+	z := rng.NormVec(r, c.Model.BasisSize())
+	ch := &Chip{
+		Circuit: c,
+		Index:   index,
+		TrueMax: make([]float64, len(c.Paths)),
+		TrueMin: make([]float64, len(c.Paths)),
+	}
+	for i := range c.Paths {
+		p := &c.Paths[i]
+		eps := r.NormFloat64()
+		ch.TrueMax[i] = p.Max.Sample(z, eps)
+		// The min-delay shares the die's correlated factors; its private part
+		// is drawn separately (different sensitizable short path).
+		ch.TrueMin[i] = p.Min.Sample(z, r.NormFloat64())
+		if ch.TrueMin[i] > ch.TrueMax[i] {
+			ch.TrueMin[i] = ch.TrueMax[i]
+		}
+		if ch.TrueMax[i] < 0 {
+			ch.TrueMax[i] = 0
+		}
+		if ch.TrueMin[i] < 0 {
+			ch.TrueMin[i] = 0
+		}
+	}
+	return ch
+}
+
+// SampleChips manufactures n chips.
+func SampleChips(c *circuit.Circuit, seed int64, n int) []*Chip {
+	out := make([]*Chip, n)
+	for i := range out {
+		out[i] = SampleChip(c, seed, i)
+	}
+	return out
+}
+
+// SetupSlack returns Td - (D + x_i - x_j) for path p under buffer values x;
+// non-negative means the setup constraint holds.
+func (ch *Chip) SetupSlack(p int, Td float64, x []float64) float64 {
+	pt := &ch.Circuit.Paths[p]
+	return Td - (ch.TrueMax[p] + x[pt.From] - x[pt.To])
+}
+
+// HoldSlack returns (x_i - x_j) - (h - dmin) for path p; non-negative means
+// the hold constraint holds.
+func (ch *Chip) HoldSlack(p int, x []float64) float64 {
+	pt := &ch.Circuit.Paths[p]
+	return (x[pt.From] - x[pt.To]) - (ch.Circuit.HoldTime - ch.TrueMin[p])
+}
+
+// PassesAt reports whether every path meets setup at period Td under buffer
+// values x.
+func (ch *Chip) PassesAt(Td float64, x []float64) bool {
+	for p := range ch.Circuit.Paths {
+		if ch.SetupSlack(p, Td, x) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HoldOK reports whether every path meets hold under buffer values x.
+func (ch *Chip) HoldOK(x []float64) bool {
+	for p := range ch.Circuit.Paths {
+		if ch.HoldSlack(p, x) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CriticalDelay returns the largest realized path delay (the chip's minimum
+// working period without tuning).
+func (ch *Chip) CriticalDelay() float64 {
+	max := 0.0
+	for _, d := range ch.TrueMax {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Arcs returns the chip's exact timing arcs (for ideal-measurement
+// configuration studies): Setup is the realized max delay, Hold the folded
+// hold bound h - dmin.
+func (ch *Chip) Arcs() []skew.Timing {
+	arcs := make([]skew.Timing, len(ch.Circuit.Paths))
+	for i := range ch.Circuit.Paths {
+		p := &ch.Circuit.Paths[i]
+		arcs[i] = skew.Timing{
+			From:  p.From,
+			To:    p.To,
+			Setup: ch.TrueMax[i],
+			Hold:  ch.Circuit.HoldTime - ch.TrueMin[i],
+		}
+	}
+	return arcs
+}
+
+// ATE is a simulated automatic test equipment session on one chip. It
+// accounts every frequency-step iteration and every scan-chain shift, and
+// routes buffer settings through the actual vernier scan-chain encoding
+// (devices quantize values to their step lattices exactly as hardware
+// would).
+type ATE struct {
+	Chip *Chip
+	// Resolution is the clock-generator period granularity; applied periods
+	// are rounded up to the grid (conservative: never tests faster than
+	// asked). Zero means ideal.
+	Resolution float64
+	// Jitter is the standard deviation of per-application clock-edge noise
+	// in ns (0 = noiseless). A noisy step compares the path delay against
+	// T + jitter-draw, modelling the tester's edge placement accuracy.
+	Jitter float64
+
+	Iterations int   // frequency steps applied
+	ScanBits   int64 // configuration bits shifted
+
+	jitterStream *rand.Rand
+}
+
+// NewATE opens a test session.
+func NewATE(ch *Chip, resolution float64) *ATE {
+	return &ATE{Chip: ch, Resolution: resolution}
+}
+
+// NewNoisyATE opens a test session with clock-edge jitter; the noise stream
+// is deterministic in (chip, seed).
+func NewNoisyATE(ch *Chip, resolution, jitter float64, seed int64) *ATE {
+	return &ATE{
+		Chip:         ch,
+		Resolution:   resolution,
+		Jitter:       jitter,
+		jitterStream: rng.NewIndexed(seed, ch.Index, "ate-jitter", ch.Circuit.Name),
+	}
+}
+
+// AppliedPeriod returns the actual period the clock generator produces for a
+// requested period.
+func (a *ATE) AppliedPeriod(T float64) float64 {
+	if a.Resolution <= 0 {
+		return T
+	}
+	return math.Ceil(T/a.Resolution-1e-12) * a.Resolution
+}
+
+// Step applies one frequency-stepping iteration: scan in the buffer
+// configuration x (full per-FF vector) and the batch's test vectors, clock
+// at period T, and report per-path pass (true = data latched correctly, i.e.
+// setup met). The applied (resolution-rounded) period is returned so callers
+// update bounds consistently with what the hardware actually did.
+//
+// The buffer values travel through the real scan-chain encoding: each value
+// is quantized to its device's step, encoded to configuration bits, shifted
+// (accounted in ScanBits) and decoded on-chip — so off-lattice requests see
+// exactly the hardware's quantization.
+func (a *ATE) Step(T float64, x []float64, batch []int) (applied float64, pass []bool, err error) {
+	if len(x) != a.Chip.Circuit.NumFF {
+		return 0, nil, fmt.Errorf("tester: buffer vector length %d != %d FFs", len(x), a.Chip.Circuit.NumFF)
+	}
+	effective, err := a.scanIn(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	applied = a.AppliedPeriod(T)
+	a.Iterations++
+	pass = make([]bool, len(batch))
+	for i, p := range batch {
+		if p < 0 || p >= len(a.Chip.Circuit.Paths) {
+			return 0, nil, fmt.Errorf("tester: path %d out of range", p)
+		}
+		threshold := applied
+		if a.Jitter > 0 && a.jitterStream != nil {
+			threshold += a.Jitter * a.jitterStream.NormFloat64()
+		}
+		pass[i] = a.Chip.SetupSlack(p, threshold, effective) >= 0
+	}
+	return applied, pass, nil
+}
+
+// scanIn routes the requested buffer values through the device scan chain
+// and returns the values the hardware actually realizes.
+func (a *ATE) scanIn(x []float64) ([]float64, error) {
+	chain := a.Chip.Circuit.Devices
+	if len(chain.Devices) == 0 {
+		return x, nil
+	}
+	steps := make([]int, len(chain.Devices))
+	for i, d := range chain.Devices {
+		steps[i] = d.StepFor(x[d.FF])
+	}
+	bits, err := chain.Encode(steps)
+	if err != nil {
+		return nil, fmt.Errorf("tester: scan encode: %w", err)
+	}
+	a.ScanBits += int64(len(bits))
+	decoded, err := chain.Decode(bits)
+	if err != nil {
+		return nil, fmt.Errorf("tester: scan decode: %w", err)
+	}
+	effective := make([]float64, len(x))
+	copy(effective, x)
+	for i, d := range chain.Devices {
+		effective[d.FF] = d.Value(decoded[i])
+	}
+	return effective, nil
+}

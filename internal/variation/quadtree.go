@@ -1,0 +1,136 @@
+package variation
+
+import (
+	"errors"
+	"math"
+
+	"effitest/internal/ssta"
+)
+
+// Kind selects the spatial-correlation model.
+type Kind int
+
+const (
+	// KindGrid is the exponential-decay grid model (the default; see the
+	// package comment).
+	KindGrid Kind = iota
+	// KindQuadTree is the Chang–Sapatnekar hierarchical model (the paper's
+	// SSTA reference [17]): the chip is recursively quartered; each level
+	// contributes an independent variable per cell, and a gate's parameter
+	// is the sum over levels of its covering cells' variables. Correlation
+	// between two gates equals the variance share of the levels whose cells
+	// they share — naturally decreasing with distance, with the root level
+	// as the global floor.
+	KindQuadTree
+)
+
+// QuadTreeConfig parameterizes KindQuadTree.
+type QuadTreeConfig struct {
+	Levels int // ≥ 1; level l has 4^l cells
+	// LevelWeight[l] is the variance fraction of level l; if empty, the
+	// root takes CorrGlobal of the variance and the remaining levels split
+	// the rest evenly.
+	LevelWeights []float64
+}
+
+// quadTree holds the precomputed per-level layout for a quad-tree model.
+type quadTree struct {
+	levels  int
+	weights []float64 // variance fraction per level, sums to 1
+	offsets []int     // factor offset of each level within one parameter block
+	cells   int       // total cells over all levels (per parameter)
+}
+
+// newQuadTree validates and builds the level tables.
+func newQuadTree(cfg Config) (*quadTree, error) {
+	q := cfg.QuadTree
+	if q.Levels < 1 {
+		return nil, errors.New("variation: quad-tree needs at least 1 level")
+	}
+	weights := q.LevelWeights
+	if len(weights) == 0 {
+		weights = make([]float64, q.Levels)
+		if q.Levels == 1 {
+			weights[0] = 1
+		} else {
+			weights[0] = cfg.CorrGlobal
+			rest := (1 - cfg.CorrGlobal) / float64(q.Levels-1)
+			for l := 1; l < q.Levels; l++ {
+				weights[l] = rest
+			}
+		}
+	}
+	if len(weights) != q.Levels {
+		return nil, errors.New("variation: quad-tree weight count must match levels")
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, errors.New("variation: negative quad-tree level weight")
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, errors.New("variation: quad-tree level weights must sum to 1")
+	}
+	qt := &quadTree{levels: q.Levels, weights: weights}
+	qt.offsets = make([]int, q.Levels)
+	at := 0
+	for l := 0; l < q.Levels; l++ {
+		qt.offsets[l] = at
+		at += 1 << (2 * l) // 4^l cells
+	}
+	qt.cells = at
+	return qt, nil
+}
+
+// cellAt returns the level-l cell index covering normalized coordinates
+// (u, v) in [0, 1).
+func (qt *quadTree) cellAt(l int, u, v float64) int {
+	side := 1 << l
+	x := int(u * float64(side))
+	y := int(v * float64(side))
+	if x >= side {
+		x = side - 1
+	}
+	if y >= side {
+		y = side - 1
+	}
+	return y*side + x
+}
+
+// gateCanonQuad builds the canonical form of a gate under the quad-tree
+// model. Grid coordinates are normalized by the configured grid size so the
+// same placement code works for both models.
+func (m *Model) gateCanonQuad(d0 float64, x, y int) ssta.Canon {
+	u := (float64(x) + 0.5) / float64(m.Cfg.GridW)
+	v := (float64(y) + 0.5) / float64(m.Cfg.GridH)
+	coef := make([]float64, m.BasisSize())
+	perParam := m.qt.cells
+	for p := Param(0); p < numParams; p++ {
+		scale := d0 * m.paramSens(p) * m.paramSigma(p)
+		base := int(p) * perParam
+		for l := 0; l < m.qt.levels; l++ {
+			w := math.Sqrt(m.qt.weights[l])
+			cell := m.qt.cellAt(l, u, v)
+			coef[base+m.qt.offsets[l]+cell] = scale * w
+		}
+	}
+	return ssta.Canon{Mean: d0, Coef: coef, Rand: d0 * m.Cfg.SigmaRand}
+}
+
+// QuadCellCorr returns the modeled correlation between two normalized
+// positions under the quad-tree model: the summed weight of levels whose
+// cells cover both points.
+func (m *Model) QuadCellCorr(u1, v1, u2, v2 float64) float64 {
+	if m.qt == nil {
+		return math.NaN()
+	}
+	corr := 0.0
+	for l := 0; l < m.qt.levels; l++ {
+		if m.qt.cellAt(l, u1, v1) == m.qt.cellAt(l, u2, v2) {
+			corr += m.qt.weights[l]
+		}
+	}
+	return corr
+}

@@ -1,0 +1,150 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"effitest/internal/ssta"
+)
+
+func quadConfig(levels int) Config {
+	cfg := DefaultConfig()
+	cfg.Kind = KindQuadTree
+	cfg.QuadTree = QuadTreeConfig{Levels: levels}
+	return cfg
+}
+
+func TestQuadTreeBasisSize(t *testing.T) {
+	m, err := New(quadConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 4 + 16 = 21 cells per parameter, 3 parameters.
+	if m.BasisSize() != 21*3 {
+		t.Fatalf("basis = %d, want 63", m.BasisSize())
+	}
+}
+
+func TestQuadTreeValidation(t *testing.T) {
+	cfg := quadConfig(0)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero levels should fail")
+	}
+	cfg = quadConfig(2)
+	cfg.QuadTree.LevelWeights = []float64{0.5, 0.4} // sums to 0.9
+	if _, err := New(cfg); err == nil {
+		t.Fatal("non-normalized weights should fail")
+	}
+	cfg.QuadTree.LevelWeights = []float64{1.5, -0.5}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+	cfg.QuadTree.LevelWeights = []float64{1}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("weight count mismatch should fail")
+	}
+}
+
+func TestQuadTreeSameCellFullCorrelation(t *testing.T) {
+	m, err := New(quadConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.GateCanon(100, 1, 1)
+	b := m.GateCanon(100, 1, 1)
+	// Same position: correlated parts identical.
+	if d := ssta.Cov(a, b) - corrVar(a); math.Abs(d) > 1e-9 {
+		t.Fatalf("same-cell covariance off by %v", d)
+	}
+}
+
+func TestQuadTreeCorrelationDecreasesWithDistance(t *testing.T) {
+	m, err := New(quadConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := m.GateCanon(100, 0, 0)
+	prev := 2.0
+	// Moving right across the grid, correlation must be non-increasing at
+	// quad-tree boundaries and reach the root share far away.
+	for _, x := range []int{0, 1, 3, 7} {
+		g := m.GateCanon(100, x, 0)
+		corr := ssta.Cov(ref, g) / math.Sqrt(corrVar(ref)*corrVar(g))
+		if corr > prev+1e-9 {
+			t.Fatalf("correlation increased with distance at x=%d: %v > %v", x, corr, prev)
+		}
+		prev = corr
+	}
+	// Opposite corners share only the root level.
+	far := m.GateCanon(100, 7, 7)
+	corr := ssta.Cov(ref, far) / math.Sqrt(corrVar(ref)*corrVar(far))
+	want := m.QuadCellCorr(0.03, 0.03, 0.97, 0.97)
+	if math.Abs(corr-want) > 1e-9 {
+		t.Fatalf("far corner corr %v, model %v", corr, want)
+	}
+	if want > 0.3 {
+		t.Fatalf("opposite corners should only share the root level, corr %v", want)
+	}
+}
+
+func TestQuadCellCorrMatchesCanon(t *testing.T) {
+	m, err := New(quadConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := m.GateCanon(1, 2, 5)
+	g2 := m.GateCanon(1, 3, 5)
+	u1, v1 := (2.0+0.5)/8, (5.0+0.5)/8
+	u2, v2 := (3.0+0.5)/8, (5.0+0.5)/8
+	want := m.QuadCellCorr(u1, v1, u2, v2)
+	got := ssta.Cov(g1, g2) / math.Sqrt(corrVar(g1)*corrVar(g2))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("canon corr %v vs model %v", got, want)
+	}
+}
+
+func TestQuadTreeGateSigmaMatchesGridModel(t *testing.T) {
+	// Total per-gate sigma must be the same for both spatial models (the
+	// parameter sigmas are the physics; the spatial model only distributes
+	// correlation).
+	grid, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := New(quadConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := grid.GateCanon(100, 4, 4)
+	g2 := quad.GateCanon(100, 4, 4)
+	if d := math.Abs(g1.Sigma() - g2.Sigma()); d > 1e-9 {
+		t.Fatalf("gate sigma differs between models by %v", d)
+	}
+}
+
+func TestQuadTreeSingleLevelIsGlobal(t *testing.T) {
+	m, err := New(quadConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.GateCanon(1, 0, 0)
+	b := m.GateCanon(1, 7, 7)
+	corr := ssta.Cov(a, b) / math.Sqrt(corrVar(a)*corrVar(b))
+	if math.Abs(corr-1) > 1e-9 {
+		t.Fatalf("single-level model must be fully correlated, got %v", corr)
+	}
+}
+
+func TestQuadTreeCircuitGeneration(t *testing.T) {
+	// The whole flow runs on a quad-tree circuit (programmatic option).
+	// Imported lazily here to avoid a dependency cycle: use the generator's
+	// config hook.
+	cfg := quadConfig(4)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BasisSize() != (1+4+16+64)*3 {
+		t.Fatalf("basis = %d", m.BasisSize())
+	}
+}

@@ -1,0 +1,209 @@
+// Package variation models spatially correlated process variation over a
+// chip, following the paper's experimental setup: per-parameter standard
+// deviations of 15.7 % (transistor length), 5.3 % (oxide thickness) and
+// 4.4 % (threshold voltage) of nominal, correlation 1 for side-by-side
+// gates (same grid cell) and a global correlation floor of 0.25.
+//
+// The chip is divided into a rectangular grid. Each parameter gets one
+// random variable per cell; the cell-to-cell correlation is
+//
+//	ρ(c, c') = g + (1-g)·exp(-dist(c, c')/decay)
+//
+// with g the global floor. The correlation matrix is Cholesky-factorized so
+// every cell variable is an affine combination of independent standard
+// normals — these normals form the shared factor basis of the ssta
+// canonical forms. Gates in the same cell see exactly the same parameter
+// values (correlation 1), matching the paper.
+package variation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"effitest/internal/la"
+	"effitest/internal/ssta"
+)
+
+// Param identifies a process parameter.
+type Param int
+
+// The three modeled process parameters.
+const (
+	ParamLength Param = iota
+	ParamTox
+	ParamVth
+	numParams
+)
+
+// String returns the parameter name.
+func (p Param) String() string {
+	switch p {
+	case ParamLength:
+		return "transistor-length"
+	case ParamTox:
+		return "oxide-thickness"
+	case ParamVth:
+		return "threshold-voltage"
+	default:
+		return fmt.Sprintf("param(%d)", int(p))
+	}
+}
+
+// Config sets up a variation model. All sigma values are relative to
+// nominal (e.g. 0.157 = 15.7 %).
+type Config struct {
+	Kind Kind // spatial model: KindGrid (default) or KindQuadTree
+
+	GridW, GridH int     // grid resolution (cells); also normalizes quad-tree coords
+	SigmaL       float64 // transistor length sigma
+	SigmaTox     float64 // oxide thickness sigma
+	SigmaVth     float64 // threshold voltage sigma
+	CorrGlobal   float64 // correlation floor between far-apart cells
+	CorrDecay    float64 // e-folding distance (in cells) of the local part
+
+	// QuadTree parameterizes KindQuadTree (ignored for KindGrid).
+	QuadTree QuadTreeConfig
+
+	// Delay sensitivities: relative delay change per relative parameter
+	// change. Gate delay d = d0·(1 + SensL·δL + SensTox·δTox + SensVth·δVth
+	// + SigmaRand·ε).
+	SensL, SensTox, SensVth float64
+	SigmaRand               float64 // per-gate independent sigma (relative)
+}
+
+// DefaultConfig returns the paper-calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		GridW: 8, GridH: 8,
+		SigmaL:     0.157,
+		SigmaTox:   0.053,
+		SigmaVth:   0.044,
+		CorrGlobal: 0.25,
+		CorrDecay:  1.2,
+		SensL:      0.55,
+		SensTox:    0.45,
+		SensVth:    0.75,
+		SigmaRand:  0.03,
+	}
+}
+
+// Model is a ready-to-use spatial variation model. For KindGrid the factor
+// basis has GridW·GridH·3 entries (one block of cell factors per parameter);
+// for KindQuadTree it has (Σ_l 4^l)·3 entries.
+type Model struct {
+	Cfg   Config
+	Cells int
+	chol  *la.Matrix // grid model: Cholesky factor of the cell correlation
+	qt    *quadTree  // quad-tree model tables
+}
+
+// New builds the model (factorizing the cell correlation matrix for the
+// grid kind; building level tables for the quad-tree kind).
+func New(cfg Config) (*Model, error) {
+	if cfg.GridW <= 0 || cfg.GridH <= 0 {
+		return nil, errors.New("variation: grid dimensions must be positive")
+	}
+	if cfg.CorrGlobal < 0 || cfg.CorrGlobal > 1 {
+		return nil, errors.New("variation: CorrGlobal must be in [0,1]")
+	}
+	switch cfg.Kind {
+	case KindGrid:
+		cells := cfg.GridW * cfg.GridH
+		corr := la.NewMatrix(cells, cells)
+		for a := 0; a < cells; a++ {
+			ax, ay := a%cfg.GridW, a/cfg.GridW
+			for b := 0; b < cells; b++ {
+				bx, by := b%cfg.GridW, b/cfg.GridW
+				d := math.Hypot(float64(ax-bx), float64(ay-by))
+				rho := cfg.CorrGlobal + (1-cfg.CorrGlobal)*math.Exp(-d/cfg.CorrDecay)
+				corr.Set(a, b, rho)
+			}
+		}
+		l, _, err := la.CholeskyRidge(corr, 1e-10, 12)
+		if err != nil {
+			return nil, fmt.Errorf("variation: correlation matrix: %w", err)
+		}
+		return &Model{Cfg: cfg, Cells: cells, chol: l}, nil
+	case KindQuadTree:
+		qt, err := newQuadTree(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Model{Cfg: cfg, Cells: qt.cells, qt: qt}, nil
+	default:
+		return nil, fmt.Errorf("variation: unknown model kind %d", cfg.Kind)
+	}
+}
+
+// BasisSize returns the number of shared factors (cells × parameters).
+func (m *Model) BasisSize() int { return m.Cells * int(numParams) }
+
+// CellIndex maps grid coordinates to a cell id; coordinates are clamped to
+// the grid.
+func (m *Model) CellIndex(x, y int) int {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= m.Cfg.GridW {
+		x = m.Cfg.GridW - 1
+	}
+	if y >= m.Cfg.GridH {
+		y = m.Cfg.GridH - 1
+	}
+	return y*m.Cfg.GridW + x
+}
+
+func (m *Model) paramSigma(p Param) float64 {
+	switch p {
+	case ParamLength:
+		return m.Cfg.SigmaL
+	case ParamTox:
+		return m.Cfg.SigmaTox
+	default:
+		return m.Cfg.SigmaVth
+	}
+}
+
+func (m *Model) paramSens(p Param) float64 {
+	switch p {
+	case ParamLength:
+		return m.Cfg.SensL
+	case ParamTox:
+		return m.Cfg.SensTox
+	default:
+		return m.Cfg.SensVth
+	}
+}
+
+// GateCanon returns the canonical delay form of a gate with nominal delay d0
+// located in cell (x, y): mean d0, factor loadings from the three parameter
+// blocks, and the private random term d0·SigmaRand.
+func (m *Model) GateCanon(d0 float64, x, y int) ssta.Canon {
+	if m.qt != nil {
+		return m.gateCanonQuad(d0, x, y)
+	}
+	cell := m.CellIndex(x, y)
+	coef := make([]float64, m.BasisSize())
+	for p := Param(0); p < numParams; p++ {
+		scale := d0 * m.paramSens(p) * m.paramSigma(p)
+		base := int(p) * m.Cells
+		// Cell variable = Σ_k chol[cell][k] z_k (unit variance by
+		// construction), scaled into delay units.
+		for k := 0; k <= cell; k++ {
+			coef[base+k] = scale * m.chol.At(cell, k)
+		}
+	}
+	return ssta.Canon{Mean: d0, Coef: coef, Rand: d0 * m.Cfg.SigmaRand}
+}
+
+// CellCorr returns the modeled correlation between two cells.
+func (m *Model) CellCorr(a, b int) float64 {
+	ax, ay := a%m.Cfg.GridW, a/m.Cfg.GridW
+	bx, by := b%m.Cfg.GridW, b/m.Cfg.GridW
+	d := math.Hypot(float64(ax-bx), float64(ay-by))
+	return m.Cfg.CorrGlobal + (1-m.Cfg.CorrGlobal)*math.Exp(-d/m.Cfg.CorrDecay)
+}

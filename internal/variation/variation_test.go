@@ -1,0 +1,170 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"effitest/internal/rng"
+	"effitest/internal/ssta"
+	"effitest/internal/stats"
+)
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GridW = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("expected error for zero grid")
+	}
+	cfg = DefaultConfig()
+	cfg.CorrGlobal = 1.5
+	if _, err := New(cfg); err == nil {
+		t.Error("expected error for correlation > 1")
+	}
+}
+
+func TestSameCellGatesFullyCorrelated(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.GateCanon(100, 3, 3)
+	b := m.GateCanon(100, 3, 3)
+	// Correlated parts identical; only the private Rand differs.
+	if cv := ssta.Cov(a, b); math.Abs(cv-corrVar(a)) > 1e-9 {
+		t.Fatalf("same-cell covariance %v != correlated variance %v", cv, corrVar(a))
+	}
+}
+
+// corrVar returns the correlated (factor) variance of a canon.
+func corrVar(c ssta.Canon) float64 {
+	s := 0.0
+	for _, v := range c.Coef {
+		s += v * v
+	}
+	return s
+}
+
+func TestDistantCellsNearGlobalFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.GateCanon(100, 0, 0)
+	b := m.GateCanon(100, 7, 7)
+	// Correlation of the correlated parts should approach CorrGlobal.
+	corr := ssta.Cov(a, b) / math.Sqrt(corrVar(a)*corrVar(b))
+	if corr < cfg.CorrGlobal-0.02 || corr > cfg.CorrGlobal+0.1 {
+		t.Fatalf("far-cell corr = %v, want ≈ %v", corr, cfg.CorrGlobal)
+	}
+	// And be lower than adjacent-cell correlation.
+	c := m.GateCanon(100, 0, 1)
+	adj := ssta.Cov(a, c) / math.Sqrt(corrVar(a)*corrVar(c))
+	if adj <= corr {
+		t.Fatalf("adjacent corr %v should exceed far corr %v", adj, corr)
+	}
+}
+
+func TestCellCorrMatchesRealizedCorrelation(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.GateCanon(1, 2, 2)
+	b := m.GateCanon(1, 4, 2)
+	// Per-parameter correlation equals the cell correlation; the blended
+	// delay correlation of the correlated parts must match it too because
+	// all three parameter blocks share the same spatial structure.
+	want := m.CellCorr(m.CellIndex(2, 2), m.CellIndex(4, 2))
+	got := ssta.Cov(a, b) / math.Sqrt(corrVar(a)*corrVar(b))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("realized corr %v vs model %v", got, want)
+	}
+}
+
+func TestGateCanonMeanAndSigma(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := 100.0
+	g := m.GateCanon(d0, 1, 1)
+	if g.Mean != d0 {
+		t.Fatalf("mean = %v", g.Mean)
+	}
+	// Relative sigma should equal sqrt(Σ (sens·sigma)² + sigmaRand²).
+	want := d0 * math.Sqrt(
+		cfg.SensL*cfg.SensL*cfg.SigmaL*cfg.SigmaL+
+			cfg.SensTox*cfg.SensTox*cfg.SigmaTox*cfg.SigmaTox+
+			cfg.SensVth*cfg.SensVth*cfg.SigmaVth*cfg.SigmaVth+
+			cfg.SigmaRand*cfg.SigmaRand)
+	if math.Abs(g.Sigma()-want) > 1e-9 {
+		t.Fatalf("sigma = %v, want %v", g.Sigma(), want)
+	}
+	if g.Rand != d0*cfg.SigmaRand {
+		t.Fatalf("rand = %v", g.Rand)
+	}
+}
+
+func TestCellIndexClamps(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CellIndex(-5, -5) != 0 {
+		t.Error("negative coords should clamp to 0")
+	}
+	if m.CellIndex(100, 100) != m.Cells-1 {
+		t.Error("large coords should clamp to last cell")
+	}
+}
+
+func TestBasisSize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GridW, cfg.GridH = 4, 5
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BasisSize() != 4*5*3 {
+		t.Fatalf("basis = %d", m.BasisSize())
+	}
+}
+
+func TestSampledCorrelationMatchesModel(t *testing.T) {
+	// Monte-Carlo check: realized gate delays across chips reproduce the
+	// modeled correlation.
+	cfg := DefaultConfig()
+	cfg.GridW, cfg.GridH = 4, 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := m.GateCanon(100, 0, 0)
+	g2 := m.GateCanon(100, 1, 0)
+	want := ssta.Corr(g1, g2)
+	r := rng.New(13, "varmc")
+	n := 40000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		z := rng.NormVec(r, m.BasisSize())
+		xs[i] = g1.Sample(z, r.NormFloat64())
+		ys[i] = g2.Sample(z, r.NormFloat64())
+	}
+	got := stats.Correlation(xs, ys)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("MC corr %v vs model %v", got, want)
+	}
+}
+
+func TestParamString(t *testing.T) {
+	if ParamLength.String() == "" || ParamTox.String() == "" || ParamVth.String() == "" {
+		t.Error("param names empty")
+	}
+	if Param(9).String() == "" {
+		t.Error("unknown param should still print")
+	}
+}

@@ -1,0 +1,131 @@
+// Package yield evaluates manufacturing yield under the three regimes the
+// paper compares: no tuning buffers, buffers configured from a perfect
+// delay measurement (yi), and buffers configured by the EffiTest flow (yt).
+package yield
+
+import (
+	"time"
+
+	"effitest/internal/circuit"
+	"effitest/internal/core"
+	"effitest/internal/skew"
+	"effitest/internal/stats"
+	"effitest/internal/tester"
+)
+
+// PeriodQuantile returns the q-quantile of the no-tuning critical delay
+// (max realized path delay) over n Monte-Carlo chips. The paper's T1 and T2
+// are the 0.5 and 0.8413 quantiles ("the original yields without buffers
+// were 50% and 84.13%").
+func PeriodQuantile(c *circuit.Circuit, seed int64, n int, q float64) float64 {
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = tester.SampleChip(c, seed, i).CriticalDelay()
+	}
+	return stats.Quantile(xs, q)
+}
+
+// NoBuffer returns the fraction of chips meeting period T with all buffers
+// at zero.
+func NoBuffer(chips []*tester.Chip, T float64) float64 {
+	if len(chips) == 0 {
+		return 0
+	}
+	pass := 0
+	for _, ch := range chips {
+		zeros := make([]float64, ch.Circuit.NumFF)
+		if ch.PassesAt(T, zeros) && ch.HoldOK(zeros) {
+			pass++
+		}
+	}
+	return float64(pass) / float64(len(chips))
+}
+
+// Ideal returns the yield with perfect delay measurement: a chip counts when
+// a discrete buffer assignment exists for its exact realized delays (setup
+// at T, true hold bounds, buffer ranges and lattice).
+func Ideal(c *circuit.Circuit, chips []*tester.Chip, T float64) float64 {
+	if len(chips) == 0 {
+		return 0
+	}
+	pass := 0
+	for _, ch := range chips {
+		if x, ok := skew.FeasibleDiscrete(T, ch.Arcs(), c.Buf); ok {
+			// FeasibleDiscrete guarantees constraint satisfaction; double
+			// check against the chip oracle for defense in depth.
+			if ch.PassesAt(T, x) && ch.HoldOK(x) {
+				pass++
+			}
+		}
+	}
+	return float64(pass) / float64(len(chips))
+}
+
+// ProposedStats aggregates the per-chip outcomes of the EffiTest flow.
+type ProposedStats struct {
+	Yield          float64
+	AvgIterations  float64
+	AvgAlignTime   time.Duration
+	AvgConfigTime  time.Duration
+	ConfiguredFrac float64
+}
+
+// CurvePoint is one sample of a yield-versus-period curve.
+type CurvePoint struct {
+	T        float64
+	NoBuffer float64
+	Ideal    float64
+}
+
+// Curve sweeps the clock period from loT to hiT in steps and evaluates the
+// no-buffer and ideal-tuning yields at each point — the shmoo-style view of
+// what tuning buys across the frequency range.
+func Curve(c *circuit.Circuit, chips []*tester.Chip, loT, hiT float64, steps int) []CurvePoint {
+	if steps < 2 {
+		steps = 2
+	}
+	out := make([]CurvePoint, steps)
+	for i := 0; i < steps; i++ {
+		T := loT + (hiT-loT)*float64(i)/float64(steps-1)
+		out[i] = CurvePoint{
+			T:        T,
+			NoBuffer: NoBuffer(chips, T),
+			Ideal:    Ideal(c, chips, T),
+		}
+	}
+	return out
+}
+
+// Proposed runs the full EffiTest flow (aligned test, prediction,
+// configuration, final pass/fail) on every chip and aggregates yield and
+// tester cost.
+func Proposed(plan *core.Plan, chips []*tester.Chip, T float64) (ProposedStats, error) {
+	var st ProposedStats
+	if len(chips) == 0 {
+		return st, nil
+	}
+	var iters, passed, configured int
+	var alignDur, cfgDur time.Duration
+	for _, ch := range chips {
+		out, err := plan.RunChip(ch, T)
+		if err != nil {
+			return st, err
+		}
+		iters += out.Iterations
+		alignDur += out.AlignDuration
+		cfgDur += out.ConfigDuration
+		if out.Configured {
+			configured++
+		}
+		if out.Passed {
+			passed++
+		}
+	}
+	n := float64(len(chips))
+	st.Yield = float64(passed) / n
+	st.AvgIterations = float64(iters) / n
+	st.AvgAlignTime = time.Duration(float64(alignDur) / n)
+	st.AvgConfigTime = time.Duration(float64(cfgDur) / n)
+	st.ConfiguredFrac = float64(configured) / n
+	return st, nil
+}
