@@ -8,6 +8,7 @@
 package effitest_test
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -44,7 +45,7 @@ func BenchmarkTable1(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var lastRA float64
 			for i := 0; i < b.N; i++ {
-				row, err := effitest.RunTable1(p, benchExpConfig())
+				row, err := effitest.RunTable1(context.Background(), p, benchExpConfig())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -63,7 +64,7 @@ func BenchmarkTable2(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var lastYT float64
 			for i := 0; i < b.N; i++ {
-				row, err := effitest.RunTable2(p, benchExpConfig())
+				row, err := effitest.RunTable2(context.Background(), p, benchExpConfig())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -82,7 +83,7 @@ func BenchmarkFig7(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last float64
 			for i := 0; i < b.N; i++ {
-				row, err := effitest.RunFig7(p, benchExpConfig())
+				row, err := effitest.RunFig7(context.Background(), p, benchExpConfig())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -102,7 +103,7 @@ func BenchmarkFig8(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last float64
 			for i := 0; i < b.N; i++ {
-				row, err := effitest.RunFig8(p, benchExpConfig())
+				row, err := effitest.RunFig8(context.Background(), p, benchExpConfig())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -172,6 +173,33 @@ func BenchmarkFlowChip(b *testing.B) {
 				iters = out.Iterations
 			}
 			b.ReportMetric(float64(iters), "tester_iters")
+		})
+	}
+}
+
+// BenchmarkEngineRunChips measures fleet execution through the engine at
+// one worker versus one worker per CPU. The outcomes are bit-identical
+// (see TestEngineParallelMatchesSequential); on a multi-core runner the
+// parallel case shows the wall-clock speedup the worker pool buys.
+func BenchmarkEngineRunChips(b *testing.B) {
+	f := fixture(b, "s9234", effitest.DefaultConfig())
+	chips := effitest.SampleChips(f.circuit, 3, 64)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers-1", 1}, {"workers-all", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				outs, err := f.plan.RunChipsAll(ctx, chips, f.td, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(outs) != len(chips) {
+					b.Fatalf("got %d outcomes", len(outs))
+				}
+			}
+			b.ReportMetric(float64(len(chips))*float64(b.N)/b.Elapsed().Seconds(), "chips/s")
 		})
 	}
 }

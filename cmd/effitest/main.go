@@ -1,15 +1,19 @@
 // Command effitest runs the full EffiTest flow on one benchmark circuit and
 // prints Table-1-style cost metrics plus yield for the chosen clock period.
+// Chips execute in parallel on a bounded worker pool; Ctrl-C cancels the
+// run promptly.
 //
 // Usage:
 //
-//	effitest -circuit s9234 -chips 100 -seed 1 -quantile 0.8413
+//	effitest -circuit s9234 -chips 100 -seed 1 -quantile 0.8413 -workers 0
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"effitest"
@@ -25,6 +29,7 @@ func main() {
 		qchips   = flag.Int("quantile-chips", 2000, "Monte-Carlo chips for the period quantile")
 		align    = flag.String("align", "heuristic", "alignment solver: heuristic | fast-milp | paper-ilp | off")
 		eps      = flag.Float64("eps", 0, "delay-range termination threshold in ns (0 = default 0.002)")
+		workers  = flag.Int("workers", 0, "worker goroutines for chip execution (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -35,26 +40,32 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	profile, ok := effitest.ProfileByName(*name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown circuit %q; use -list\n", *name)
 		os.Exit(1)
 	}
 
-	cfg := effitest.DefaultConfig()
-	cfg.Seed = *seed
+	opts := []effitest.Option{
+		effitest.WithSeed(*seed),
+		effitest.WithWorkers(*workers),
+		effitest.WithPeriodQuantile(*quantile, *qchips),
+	}
 	if *eps > 0 {
-		cfg.Eps = *eps
+		opts = append(opts, effitest.WithEpsilon(*eps))
 	}
 	switch strings.ToLower(*align) {
 	case "heuristic":
-		cfg.AlignMode = effitest.AlignHeuristic
+		opts = append(opts, effitest.WithAlignMode(effitest.AlignHeuristic))
 	case "fast-milp":
-		cfg.AlignMode = effitest.AlignFastMILP
+		opts = append(opts, effitest.WithAlignMode(effitest.AlignFastMILP))
 	case "paper-ilp":
-		cfg.AlignMode = effitest.AlignPaperILP
+		opts = append(opts, effitest.WithAlignMode(effitest.AlignPaperILP))
 	case "off":
-		cfg.AlignMode = effitest.AlignOff
+		opts = append(opts, effitest.WithAlignMode(effitest.AlignOff))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown align mode %q\n", *align)
 		os.Exit(1)
@@ -65,21 +76,21 @@ func main() {
 	fmt.Printf("circuit %s: ns=%d ng=%d nb=%d np=%d  Tnominal=%.4f ns\n",
 		c.Name, c.NumFF, c.NumGates(), c.NumBuffers(), c.NumPaths(), c.TNominal)
 
-	plan, err := effitest.Prepare(c, cfg)
+	eng, err := effitest.NewCtx(ctx, c, opts...)
 	fatal(err)
+	plan := eng.Plan()
 	fmt.Printf("offline: npt=%d (%.1f%% of np), %d groups, %d batches, Tp=%.2fs\n",
 		plan.NumTested(), 100*float64(plan.NumTested())/float64(c.NumPaths()),
 		len(plan.Groups), len(plan.Batches), plan.PrepDuration.Seconds())
+	fmt.Printf("test period Td=%.4f ns (q%.4g of the no-tuning critical delay)\n", eng.Period(), *quantile)
 
-	td := effitest.PeriodQuantile(c, *seed+1000, *qchips, *quantile)
-	fmt.Printf("test period Td=%.4f ns (q%.4g of the no-tuning critical delay)\n", td, *quantile)
-
-	allChips := effitest.SampleChips(c, *seed+2000, *chips)
-	st, err := effitest.YieldProposed(plan, allChips, td)
+	allChips, err := eng.SampleChips(ctx, *seed+2000, *chips)
+	fatal(err)
+	st, err := eng.Yield(ctx, allChips)
 	fatal(err)
 
-	noBuf := effitest.YieldNoBuffer(allChips, td)
-	ideal := effitest.YieldIdeal(c, allChips, td)
+	noBuf := effitest.YieldNoBuffer(allChips, eng.Period())
+	ideal := effitest.YieldIdeal(c, allChips, eng.Period())
 	fmt.Printf("\nper-chip test cost: ta=%.1f iterations (tv=%.2f per tested path)\n",
 		st.AvgIterations, st.AvgIterations/float64(plan.NumTested()))
 	fmt.Printf("runtimes: Tt=%.4fs (alignment)  Ts=%.4fs (configuration)\n",

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"effitest"
@@ -29,6 +31,7 @@ func main() {
 		fig8N    = flag.Int("fig8-chips", 3, "chips per circuit for Figure 8 (tests all np paths per chip)")
 		qchips   = flag.Int("quantile-chips", 2000, "chips for the T1/T2 quantile estimates")
 		maxBatch = flag.Int("fig8-max-batch", 24, "batch-size cap for the no-prediction runs")
+		workers  = flag.Int("workers", 0, "worker goroutines for the Monte-Carlo loops (0 = all CPUs, 1 = sequential)")
 		jsonOut  = flag.String("json", "", "also write all measured rows as JSON to this file")
 		csvDir   = flag.String("csv", "", "also write table1.csv/table2.csv into this directory")
 	)
@@ -42,6 +45,10 @@ func main() {
 	cfg.QuantileChips = *qchips
 	cfg.Fig8MaxBatch = *maxBatch
 	cfg.Core.Seed = *seed
+	cfg.Core.Workers = *workers
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	profiles, err := exp.Profiles(splitList(*circs))
 	fatal(err)
@@ -52,7 +59,7 @@ func main() {
 		case "table1":
 			for _, p := range profiles {
 				fmt.Fprintf(os.Stderr, "table1: %s...\n", p.Name)
-				r, err := exp.Table1(p, cfg)
+				r, err := exp.Table1(ctx, p, cfg)
 				fatal(err)
 				report.Table1 = append(report.Table1, r)
 			}
@@ -60,7 +67,7 @@ func main() {
 		case "table2":
 			for _, p := range profiles {
 				fmt.Fprintf(os.Stderr, "table2: %s...\n", p.Name)
-				r, err := exp.Table2(p, cfg)
+				r, err := exp.Table2(ctx, p, cfg)
 				fatal(err)
 				report.Table2 = append(report.Table2, r)
 			}
@@ -68,7 +75,7 @@ func main() {
 		case "fig7":
 			for _, p := range profiles {
 				fmt.Fprintf(os.Stderr, "fig7: %s...\n", p.Name)
-				r, err := exp.Fig7(p, cfg)
+				r, err := exp.Fig7(ctx, p, cfg)
 				fatal(err)
 				report.Fig7 = append(report.Fig7, r)
 			}
@@ -76,7 +83,7 @@ func main() {
 		case "fig8":
 			for _, p := range profiles {
 				fmt.Fprintf(os.Stderr, "fig8: %s...\n", p.Name)
-				r, err := exp.Fig8(p, cfg)
+				r, err := exp.Fig8(ctx, p, cfg)
 				fatal(err)
 				report.Fig8 = append(report.Fig8, r)
 			}

@@ -20,16 +20,42 @@
 // algebra, statistics, LP/MILP solvers, graph algorithms, skew scheduling,
 // process-variation modeling, SSTA, the ATE simulator and the flow itself).
 //
+// The primary entry point is the Engine: a per-circuit handle built with
+// functional options over the paper-aligned defaults, holding the prepared
+// offline plan and the calibrated test period. Engines execute chips with
+// context cancellation, one at a time or fanned across a bounded worker
+// pool — a production binning pipeline configures fleets of chips, and
+// parallel execution is bit-identical to sequential at any worker count.
+//
 // Quick start:
 //
 //	profile, _ := effitest.ProfileByName("s9234")
 //	c, _ := effitest.Generate(profile, 1)
-//	plan, _ := effitest.Prepare(c, effitest.DefaultConfig())
-//	chip := effitest.SampleChip(c, 1, 0)
-//	out, _ := plan.RunChip(chip, td)
+//	eng, _ := effitest.New(c,
+//		effitest.WithAlignMode(effitest.AlignHeuristic),
+//		effitest.WithEpsilon(0.002),
+//		effitest.WithWorkers(8),
+//	)
+//	chips, _ := eng.SampleChips(ctx, 1, 1000)
+//	for res := range eng.RunChips(ctx, chips) { // streamed in input order
+//		if res.Err != nil {
+//			log.Printf("chip %d: %v", res.Index, res.Err)
+//			continue
+//		}
+//		fmt.Println(res.Index, res.Outcome.Passed)
+//	}
+//
+// One chip at a time, or aggregated over a population:
+//
+//	out, _ := eng.RunChip(ctx, chips[0])
+//	stats, _ := eng.Yield(ctx, chips) // yield + average tester cost
+//
+// The pre-Engine free functions (Prepare, Plan.RunChip, YieldProposed, ...)
+// remain as thin shims and behave exactly as before.
 package effitest
 
 import (
+	"context"
 	"io"
 
 	"effitest/internal/baseline"
@@ -81,6 +107,8 @@ type (
 	// AlignMode selects the alignment solver (heuristic, exact MILP,
 	// paper-faithful big-M ILP, or off).
 	AlignMode = core.AlignMode
+	// ConfigureMode selects the final buffer-configuration solver.
+	ConfigureMode = core.ConfigureMode
 	// Chip is one manufactured die with realized delays.
 	Chip = tester.Chip
 	// ATE is the simulated tester session with iteration accounting.
@@ -153,6 +181,10 @@ func WriteDOT(w io.Writer, c *Circuit) error { return circuit.WriteDOT(w, c) }
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Prepare runs the offline flow (Procedure 1, multiplexing, hold bounds).
+//
+// Deprecated: build an Engine with New, which prepares the plan, calibrates
+// the test period and adds context-aware (parallel) chip execution. Prepare
+// remains for callers that manage the period and chip loop themselves.
 func Prepare(c *Circuit, cfg Config) (*Plan, error) { return core.Prepare(c, cfg) }
 
 // SampleChip manufactures one chip deterministically in (seed, index).
@@ -204,7 +236,11 @@ func YieldNoBuffer(chips []*Chip, T float64) float64 { return yield.NoBuffer(chi
 func YieldIdeal(c *Circuit, chips []*Chip, T float64) float64 { return yield.Ideal(c, chips, T) }
 
 // YieldProposed runs the full EffiTest flow on every chip.
-func YieldProposed(plan *Plan, chips []*Chip, T float64) (yield.ProposedStats, error) {
+//
+// Deprecated: use (*Engine).Yield or (*Engine).YieldAt, which fan chips
+// across the engine's worker pool with context cancellation. YieldProposed
+// uses the plan's Config.Workers and remains bit-compatible.
+func YieldProposed(plan *Plan, chips []*Chip, T float64) (ProposedStats, error) {
 	return yield.Proposed(plan, chips, T)
 }
 
@@ -240,31 +276,41 @@ func NoHoldBounds(from, to int) float64 { return core.NoHoldBounds(from, to) }
 // frequency stepping (the prior-art baseline of Table 1's t′a column). It
 // returns the total tester iterations and the measured windows.
 func PathwiseTest(ate *ATE, c *Circuit, paths []int, cfg Config) (int, *Bounds, error) {
-	return baseline.Pathwise(ate, c, paths, cfg)
+	return baseline.Pathwise(context.Background(), ate, c, paths, cfg)
 }
 
 // MultiplexTest measures the given paths in conflict-free batches, with or
 // without delay alignment by the tuning buffers (Figure 8's second and third
 // cases).
 func MultiplexTest(ate *ATE, c *Circuit, paths []int, lambda func(from, to int) float64, cfg Config, align bool) (int, *Bounds, error) {
-	return baseline.Multiplex(ate, c, paths, lambda, cfg, align)
+	return baseline.Multiplex(context.Background(), ate, c, paths, lambda, cfg, align)
 }
 
 // DefaultExpConfig returns the experiment-harness defaults.
 func DefaultExpConfig() ExpConfig { return exp.DefaultConfig() }
 
 // RunTable1, RunTable2, RunFig7 and RunFig8 regenerate one row/bar-group of
-// the corresponding table or figure.
-func RunTable1(p Profile, cfg ExpConfig) (Table1Row, error) { return exp.Table1(p, cfg) }
+// the corresponding table or figure. The hot Monte-Carlo loops inside them
+// fan out across cfg.Core.Workers goroutines; pass a context to cancel a
+// long regeneration.
+func RunTable1(ctx context.Context, p Profile, cfg ExpConfig) (Table1Row, error) {
+	return exp.Table1(ctx, p, cfg)
+}
 
 // RunTable2 regenerates one row of the paper's Table 2.
-func RunTable2(p Profile, cfg ExpConfig) (Table2Row, error) { return exp.Table2(p, cfg) }
+func RunTable2(ctx context.Context, p Profile, cfg ExpConfig) (Table2Row, error) {
+	return exp.Table2(ctx, p, cfg)
+}
 
 // RunFig7 regenerates one bar group of the paper's Figure 7.
-func RunFig7(p Profile, cfg ExpConfig) (Fig7Row, error) { return exp.Fig7(p, cfg) }
+func RunFig7(ctx context.Context, p Profile, cfg ExpConfig) (Fig7Row, error) {
+	return exp.Fig7(ctx, p, cfg)
+}
 
 // RunFig8 regenerates one bar group of the paper's Figure 8.
-func RunFig8(p Profile, cfg ExpConfig) (Fig8Row, error) { return exp.Fig8(p, cfg) }
+func RunFig8(ctx context.Context, p Profile, cfg ExpConfig) (Fig8Row, error) {
+	return exp.Fig8(ctx, p, cfg)
+}
 
 // FormatTable1, FormatTable2, FormatFig7 and FormatFig8 render measured rows
 // side by side with the paper's published numbers.

@@ -1,0 +1,245 @@
+package effitest
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"effitest/internal/circuit"
+	"effitest/internal/core"
+	"effitest/internal/rng"
+	"effitest/internal/tester"
+	"effitest/internal/yield"
+)
+
+// ChipResult is one element of the stream produced by Engine.RunChips: the
+// chip's position in the input slice plus either its outcome or its
+// per-chip error.
+type ChipResult = core.ChipResult
+
+// ProposedStats aggregates per-chip outcomes of the EffiTest flow over a
+// chip population (yield, average tester cost, solver runtimes).
+type ProposedStats = yield.ProposedStats
+
+// ErrChipCircuitMismatch is returned when a chip is run on an engine (or
+// plan) prepared for a different circuit instance.
+var ErrChipCircuitMismatch = core.ErrChipCircuitMismatch
+
+// Option configures an Engine at construction time. Options layer over the
+// paper-aligned defaults of DefaultConfig; the zero set of options gives
+// the flow exactly as evaluated in the paper.
+type Option func(*engineSettings)
+
+type engineSettings struct {
+	cfg        core.Config
+	period     float64
+	periodSet  bool
+	quantile   float64
+	calibChips int
+}
+
+// WithConfig replaces the engine's entire flow configuration. Options
+// appearing after it still apply on top, so it can serve as a custom base.
+func WithConfig(cfg Config) Option {
+	return func(s *engineSettings) { s.cfg = cfg }
+}
+
+// WithAlignMode selects the §3.3 alignment solver (AlignHeuristic,
+// AlignFastMILP, AlignPaperILP or AlignOff).
+func WithAlignMode(m AlignMode) Option {
+	return func(s *engineSettings) { s.cfg.AlignMode = m }
+}
+
+// WithConfigureMode selects the final buffer-configuration solver
+// (ConfigureScalable or ConfigureMILP).
+func WithConfigureMode(m ConfigureMode) Option {
+	return func(s *engineSettings) { s.cfg.ConfigMode = m }
+}
+
+// WithEpsilon sets the delay-range termination threshold ε of Procedure 2
+// in ns: a path is resolved once its window is narrower than eps.
+func WithEpsilon(eps float64) Option {
+	return func(s *engineSettings) { s.cfg.Eps = eps }
+}
+
+// WithSeed sets the master seed driving every random stream (hold-bound
+// sampling, tie-breaking, period calibration).
+func WithSeed(seed int64) Option {
+	return func(s *engineSettings) { s.cfg.Seed = seed }
+}
+
+// WithWorkers bounds the goroutines used by RunChips and everything built
+// on it. 0 (the default) means one worker per logical CPU; 1 forces
+// sequential execution. Results are bit-identical at any worker count.
+func WithWorkers(n int) Option {
+	return func(s *engineSettings) { s.cfg.Workers = n }
+}
+
+// WithMaxBatch caps the size of a test batch (0 = unlimited).
+func WithMaxBatch(n int) Option {
+	return func(s *engineSettings) { s.cfg.MaxBatch = n }
+}
+
+// WithSlotFilling enables or disables §3.2's empty-slot filling with
+// high-variance paths.
+func WithSlotFilling(enabled bool) Option {
+	return func(s *engineSettings) { s.cfg.FillSlots = enabled }
+}
+
+// WithHoldYield sets the hold-yield target Y of Eq. (20).
+func WithHoldYield(y float64) Option {
+	return func(s *engineSettings) { s.cfg.HoldYield = y }
+}
+
+// WithHoldSamples sets the Monte-Carlo sample count M of §3.5.
+func WithHoldSamples(n int) Option {
+	return func(s *engineSettings) { s.cfg.HoldSamples = n }
+}
+
+// WithTesterResolution sets the ATE clock-period granularity in ns.
+func WithTesterResolution(r float64) Option {
+	return func(s *engineSettings) { s.cfg.TesterResolution = r }
+}
+
+// WithPeriod pins the engine's test clock period Td (ns) instead of
+// calibrating it from the no-tuning critical-delay distribution.
+func WithPeriod(td float64) Option {
+	return func(s *engineSettings) {
+		s.period = td
+		s.periodSet = true
+	}
+}
+
+// WithPeriodQuantile calibrates the engine's test period as the q-quantile
+// of the no-tuning critical delay over `chips` Monte-Carlo chips (the
+// default is q = 0.8413 over 2000 chips — the paper's T2).
+func WithPeriodQuantile(q float64, chips int) Option {
+	return func(s *engineSettings) {
+		s.quantile = q
+		s.calibChips = chips
+		s.periodSet = false
+	}
+}
+
+// Engine is the per-circuit entry point of the EffiTest flow: it holds the
+// prepared Plan (Procedure 1 path selection, test batches, hold bounds) and
+// the calibrated test period, and executes chips — sequentially or fanned
+// across a bounded worker pool — with context cancellation.
+//
+// An Engine is immutable after New and safe for concurrent use.
+type Engine struct {
+	c      *circuit.Circuit
+	plan   *core.Plan
+	period float64
+}
+
+// New prepares an Engine for the circuit: it runs the offline flow
+// (Prepare) under the configuration assembled from the options and
+// calibrates the test period (unless WithPeriod pinned one).
+//
+//	eng, err := effitest.New(c,
+//		effitest.WithAlignMode(effitest.AlignHeuristic),
+//		effitest.WithEpsilon(0.002),
+//		effitest.WithWorkers(8),
+//	)
+func New(c *Circuit, opts ...Option) (*Engine, error) {
+	return NewCtx(context.Background(), c, opts...)
+}
+
+// NewCtx is New with cancellation of the construction work. The period
+// calibration (a Monte-Carlo sweep over thousands of chips) is checked
+// against the context; the offline Prepare itself is not yet cancellable,
+// so on large circuits a cancelled NewCtx returns only after Prepare
+// finishes.
+func NewCtx(ctx context.Context, c *Circuit, opts ...Option) (*Engine, error) {
+	s := engineSettings{
+		cfg:        core.DefaultConfig(),
+		quantile:   0.8413,
+		calibChips: 2000,
+	}
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.calibChips <= 0 {
+		return nil, fmt.Errorf("effitest: period-quantile chip count must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	plan, err := core.Prepare(c, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	period := s.period
+	if !s.periodSet {
+		period, err = yield.PeriodQuantileCtx(ctx, c,
+			rng.Seed(s.cfg.Seed, "engine-period", c.Name), s.calibChips, s.quantile, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{c: c, plan: plan, period: period}, nil
+}
+
+// Circuit returns the engine's circuit.
+func (e *Engine) Circuit() *Circuit { return e.c }
+
+// Plan returns the prepared offline plan (groups, batches, hold bounds).
+func (e *Engine) Plan() *Plan { return e.plan }
+
+// Config returns the engine's flow configuration.
+func (e *Engine) Config() Config { return e.plan.Cfg }
+
+// Period returns the engine's test clock period Td in ns.
+func (e *Engine) Period() float64 { return e.period }
+
+// RunChip executes the online flow on one chip at the engine's period. The
+// context is checked on every tester iteration, so cancellation aborts
+// promptly with the context's error.
+func (e *Engine) RunChip(ctx context.Context, ch *Chip) (*ChipOutcome, error) {
+	return e.plan.RunChipCtx(ctx, ch, e.period)
+}
+
+// RunChipAt is RunChip at an explicit test period.
+func (e *Engine) RunChipAt(ctx context.Context, ch *Chip, Td float64) (*ChipOutcome, error) {
+	return e.plan.RunChipCtx(ctx, ch, Td)
+}
+
+// RunChips fans the chips across the engine's worker pool (WithWorkers) and
+// streams one ChipResult per chip — outcome or per-chip error, plus index —
+// strictly in input order. Outcomes are bit-identical to a sequential loop
+// of RunChip calls. The sequence is single-use; breaking out of the range
+// stops the remaining chips and releases the workers. Cancelling the
+// context aborts in-flight chips promptly, and the remaining results carry
+// the context's error.
+func (e *Engine) RunChips(ctx context.Context, chips []*Chip) iter.Seq[ChipResult] {
+	return e.plan.RunChips(ctx, chips, e.period, e.plan.Cfg.Workers)
+}
+
+// RunChipsAt is RunChips at an explicit test period.
+func (e *Engine) RunChipsAt(ctx context.Context, chips []*Chip, Td float64) iter.Seq[ChipResult] {
+	return e.plan.RunChips(ctx, chips, Td, e.plan.Cfg.Workers)
+}
+
+// RunChipsAll collects the full stream, returning one outcome per chip (in
+// input order) or the lowest-index per-chip error.
+func (e *Engine) RunChipsAll(ctx context.Context, chips []*Chip) ([]*ChipOutcome, error) {
+	return e.plan.RunChipsAll(ctx, chips, e.period, e.plan.Cfg.Workers)
+}
+
+// Yield runs the full flow on every chip at the engine's period and
+// aggregates yield and tester cost across the worker pool.
+func (e *Engine) Yield(ctx context.Context, chips []*Chip) (ProposedStats, error) {
+	return yield.ProposedCtx(ctx, e.plan, chips, e.period)
+}
+
+// YieldAt is Yield at an explicit test period.
+func (e *Engine) YieldAt(ctx context.Context, chips []*Chip, Td float64) (ProposedStats, error) {
+	return yield.ProposedCtx(ctx, e.plan, chips, Td)
+}
+
+// SampleChips manufactures n chips of the engine's circuit on the worker
+// pool, deterministically in (seed, index).
+func (e *Engine) SampleChips(ctx context.Context, seed int64, n int) ([]*Chip, error) {
+	return tester.SampleChipsCtx(ctx, e.c, seed, n, e.plan.Cfg.Workers)
+}

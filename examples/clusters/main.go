@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -20,11 +21,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := effitest.DefaultConfig()
-	plan, err := effitest.Prepare(c, cfg)
+	eng, err := effitest.New(c, effitest.WithPeriodQuantile(0.8413, 800))
 	if err != nil {
 		log.Fatal(err)
 	}
+	plan := eng.Plan()
 	fmt.Printf("circuit: %d paths in %d correlation groups; %d will be measured\n\n",
 		c.NumPaths(), len(plan.Groups), plan.NumTested())
 
@@ -39,8 +40,7 @@ func main() {
 	// Manufacture one chip and run the aligned delay test on the plan's
 	// batches (this also demonstrates the per-chip tester budget).
 	chip := effitest.SampleChip(c, 77, 0)
-	td := effitest.PeriodQuantile(c, 99, 800, 0.8413)
-	out, err := plan.RunChip(chip, td)
+	out, err := eng.RunChip(context.Background(), chip)
 	if err != nil {
 		log.Fatal(err)
 	}

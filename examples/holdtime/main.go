@@ -36,12 +36,19 @@ func main() {
 			target, achieved, hb.SumLambda(), len(hb.ByPair))
 	}
 
-	// Show the tightest bounds for the default 0.99 target.
-	cfg.HoldYield = 0.99
-	hb, err := effitest.ComputeHoldBounds(c, cfg)
+	// Show the tightest bounds for the default 0.99 target. The engine
+	// computes them as part of its offline plan (New = Prepare + period
+	// calibration), so production callers never invoke ComputeHoldBounds
+	// directly.
+	eng, err := effitest.New(c,
+		effitest.WithHoldYield(0.99),
+		effitest.WithHoldSamples(400),
+		effitest.WithPeriodQuantile(0.8413, 200),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	hb := eng.Plan().Hold
 	type arc struct {
 		from, to int
 		lambda   float64

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,35 +21,43 @@ func main() {
 	fmt.Printf("generated %q: %d FFs, %d gates, %d buffers, %d paths, nominal clock %.3f ns\n",
 		c.Name, c.NumFF, c.NumGates(), c.NumBuffers(), c.NumPaths(), c.TNominal)
 
-	// Offline preparation: statistical path selection (Procedure 1), test
-	// multiplexing (§3.2) and hold-time tuning bounds (§3.5).
-	cfg := effitest.DefaultConfig()
-	plan, err := effitest.Prepare(c, cfg)
+	// Build the engine: offline preparation (statistical path selection of
+	// Procedure 1, test multiplexing of §3.2, hold-time tuning bounds of
+	// §3.5) plus test-period calibration — the 84.13% quantile of the
+	// no-tuning critical delay, the paper's T2. Options layer over the
+	// paper-aligned defaults.
+	ctx := context.Background()
+	eng, err := effitest.New(c,
+		effitest.WithPeriodQuantile(0.8413, 1000),
+		effitest.WithWorkers(0), // one worker per CPU
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	plan := eng.Plan()
 	fmt.Printf("offline plan: test %d of %d paths (%.0f%%) in %d batches, %d correlation groups\n",
 		plan.NumTested(), c.NumPaths(),
 		100*float64(plan.NumTested())/float64(c.NumPaths()),
 		len(plan.Batches), len(plan.Groups))
+	fmt.Printf("test period Td = %.4f ns\n\n", eng.Period())
 
-	// Pick the test clock period: the 84.13% quantile of the no-tuning
-	// critical delay (the paper's T2 calibration).
-	td := effitest.PeriodQuantile(c, 99, 1000, 0.8413)
-	fmt.Printf("test period Td = %.4f ns\n\n", td)
-
-	// Run the online flow on ten chips.
-	for i := 0; i < 10; i++ {
-		chip := effitest.SampleChip(c, 1234, i)
-		out, err := plan.RunChip(chip, td)
-		if err != nil {
-			log.Fatal(err)
+	// Manufacture ten chips and run the online flow on all of them in
+	// parallel. Results stream back in chip order, bit-identical to a
+	// sequential loop.
+	chips, err := eng.SampleChips(ctx, 1234, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for res := range eng.RunChips(ctx, chips) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
 		}
+		out := res.Outcome
 		verdict := "FAIL"
 		if out.Passed {
 			verdict = "PASS"
 		}
 		fmt.Printf("chip %2d: %3d tester iterations, configured=%5v, final test %s (critical delay %.4f ns)\n",
-			i, out.Iterations, out.Configured, verdict, chip.CriticalDelay())
+			res.Index, out.Iterations, out.Configured, verdict, res.Chip.CriticalDelay())
 	}
 }

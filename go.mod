@@ -1,0 +1,3 @@
+module effitest
+
+go 1.24

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestPathwiseConvergesAndBrackets(t *testing.T) {
 	cfg := core.DefaultConfig()
 	ch := tester.SampleChip(c, 5, 0)
 	ate := tester.NewATE(ch, cfg.TesterResolution)
-	iters, b, err := Pathwise(ate, c, allPaths(c), cfg)
+	iters, b, err := Pathwise(context.Background(), ate, c, allPaths(c), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestPathwiseIterationsMatchBinarySearch(t *testing.T) {
 	cfg := core.DefaultConfig()
 	ch := tester.SampleChip(c, 7, 0)
 	ate := tester.NewATE(ch, cfg.TesterResolution)
-	iters, _, err := Pathwise(ate, c, allPaths(c), cfg)
+	iters, _, err := Pathwise(context.Background(), ate, c, allPaths(c), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,17 +80,17 @@ func TestMultiplexBeatsPathwise(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		ch := tester.SampleChip(c, 11, i)
 		a1 := tester.NewATE(ch, cfg.TesterResolution)
-		pw, _, err := Pathwise(a1, c, allPaths(c), cfg)
+		pw, _, err := Pathwise(context.Background(), a1, c, allPaths(c), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		a2 := tester.NewATE(ch, cfg.TesterResolution)
-		mux, _, err := Multiplex(a2, c, allPaths(c), core.NoHoldBounds, cfg, false)
+		mux, _, err := Multiplex(context.Background(), a2, c, allPaths(c), core.NoHoldBounds, cfg, false)
 		if err != nil {
 			t.Fatal(err)
 		}
 		a3 := tester.NewATE(ch, cfg.TesterResolution)
-		al, _, err := Multiplex(a3, c, allPaths(c), core.NoHoldBounds, cfg, true)
+		al, _, err := Multiplex(context.Background(), a3, c, allPaths(c), core.NoHoldBounds, cfg, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestMultiplexBoundsStillBracket(t *testing.T) {
 	cfg := core.DefaultConfig()
 	ch := tester.SampleChip(c, 13, 0)
 	ate := tester.NewATE(ch, cfg.TesterResolution)
-	_, b, err := Multiplex(ate, c, allPaths(c), core.NoHoldBounds, cfg, true)
+	_, b, err := Multiplex(context.Background(), ate, c, allPaths(c), core.NoHoldBounds, cfg, true)
 	if err != nil {
 		t.Fatal(err)
 	}

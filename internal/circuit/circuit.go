@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"effitest/internal/buffers"
 	"effitest/internal/skew"
@@ -126,7 +127,15 @@ func (c *Circuit) CorrMatrix() [][]float64 {
 	return c.covCache.corr
 }
 
+// covMu serializes lazy covariance-cache construction so that concurrent
+// chip runs (which hit CovMatrix through conditional prediction) are
+// race-free. The matrix is computed once per circuit — normally during
+// Prepare — so contention is a non-issue.
+var covMu sync.Mutex
+
 func (c *Circuit) ensureCov() {
+	covMu.Lock()
+	defer covMu.Unlock()
 	if c.covCache != nil {
 		return
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestAlignModesProduceSameMeasurements(t *testing.T) {
 		b := InitBounds(c)
 		ate := tester.NewATE(ch, cfg.TesterResolution)
 		for _, batch := range allBatches {
-			if _, _, err := RunBatchTest(ate, c, batch, b, NoHoldBounds, cfg); err != nil {
+			if _, _, err := RunBatchTest(context.Background(), ate, c, batch, b, NoHoldBounds, cfg); err != nil {
 				t.Fatalf("mode %v: %v", mode, err)
 			}
 		}

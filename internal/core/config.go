@@ -107,6 +107,13 @@ type Config struct {
 	// MaxIterPerPath bounds test iterations per batch as
 	// MaxIterPerPath × batch size (safety net against pathological cases).
 	MaxIterPerPath int
+
+	// Workers bounds the goroutines used when many chips are executed
+	// together (Plan.RunChips and everything built on it). 0 means one
+	// worker per logical CPU; 1 forces sequential execution. Results are
+	// bit-identical at any worker count — chips never share mutable state
+	// and aggregation happens in chip order.
+	Workers int
 }
 
 // DefaultConfig returns the paper-aligned defaults.

@@ -1,12 +1,18 @@
 package core
 
 import (
-	"fmt"
+	"context"
+	"errors"
+	"sort"
 	"time"
 
 	"effitest/internal/circuit"
 	"effitest/internal/tester"
 )
+
+// ErrChipCircuitMismatch is returned when a chip is run against a plan
+// prepared for a different circuit instance.
+var ErrChipCircuitMismatch = errors.New("core: chip belongs to a different circuit")
 
 // Plan is the offline (per-circuit, tester-free) part of EffiTest: path
 // groups with their PCA selections, the test batches, and the hold-time
@@ -32,6 +38,19 @@ func Prepare(c *circuit.Circuit, cfg Config) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Precompute each group's joint distribution once: the per-chip
+	// conditional prediction reuses it across the whole fleet instead of
+	// rebuilding covariance submatrices chip by chip.
+	for i := range groups {
+		if len(groups[i].Paths) < 2 {
+			continue
+		}
+		mvn, err := groupMVN(c, groups[i])
+		if err != nil {
+			return nil, err
+		}
+		groups[i].mvn = mvn
+	}
 	batches := FormBatches(c, tested, cfg)
 	var filled []int
 	if cfg.FillSlots {
@@ -42,7 +61,7 @@ func Prepare(c *circuit.Circuit, cfg Config) (*Plan, error) {
 		batches, filled = FillSlots(c, batches, tested, sig, cfg)
 		if len(filled) > 0 {
 			tested = append(append([]int{}, tested...), filled...)
-			sortInts(tested)
+			sort.Ints(tested)
 		}
 	}
 	hb, err := ComputeHoldBounds(c, cfg)
@@ -83,8 +102,17 @@ type ChipOutcome struct {
 // test of every batch, conditional prediction of the untested paths, buffer
 // configuration, and the final pass/fail test.
 func (pl *Plan) RunChip(ch *tester.Chip, Td float64) (*ChipOutcome, error) {
+	return pl.RunChipCtx(context.Background(), ch, Td)
+}
+
+// RunChipCtx is RunChip with cancellation: the context is checked on every
+// batch and every tester iteration inside a batch, so a cancelled run
+// aborts promptly with the context's error. RunChipCtx is safe for
+// concurrent use on distinct chips — each run owns its ATE session and
+// bounds, and the plan is read-only after Prepare.
+func (pl *Plan) RunChipCtx(ctx context.Context, ch *tester.Chip, Td float64) (*ChipOutcome, error) {
 	if ch.Circuit != pl.Circuit {
-		return nil, fmt.Errorf("core: chip belongs to a different circuit")
+		return nil, ErrChipCircuitMismatch
 	}
 	c := pl.Circuit
 	cfg := pl.Cfg
@@ -94,7 +122,10 @@ func (pl *Plan) RunChip(ch *tester.Chip, Td float64) (*ChipOutcome, error) {
 	ate := tester.NewATE(ch, cfg.TesterResolution)
 	lambda := pl.Hold.Lambda
 	for _, batch := range pl.Batches {
-		iters, alignDur, err := RunBatchTest(ate, c, batch, b, lambda, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		iters, alignDur, err := RunBatchTest(ctx, ate, c, batch, b, lambda, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -123,12 +154,4 @@ func (pl *Plan) RunChip(ch *tester.Chip, Td float64) (*ChipOutcome, error) {
 		out.X = make([]float64, c.NumFF)
 	}
 	return out, nil
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

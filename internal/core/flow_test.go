@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestRunBatchTestConvergesAndBrackets(t *testing.T) {
 	b := InitBounds(c)
 	batches := FormBatches(c, rangeInts(c.NumPaths()), cfg)
 	for _, batch := range batches {
-		if _, _, err := RunBatchTest(ate, c, batch, b, NoHoldBounds, cfg); err != nil {
+		if _, _, err := RunBatchTest(context.Background(), ate, c, batch, b, NoHoldBounds, cfg); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -68,7 +69,7 @@ func TestRunBatchTestIterationsNearLog2(t *testing.T) {
 			maxW = w
 		}
 	}
-	iters, _, err := RunBatchTest(ate, c, batch, b, NoHoldBounds, cfg)
+	iters, _, err := RunBatchTest(context.Background(), ate, c, batch, b, NoHoldBounds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

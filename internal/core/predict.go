@@ -124,6 +124,9 @@ func localIndices(members []int, subset []int) []int {
 }
 
 func groupMVN(c *circuit.Circuit, g Group) (*stats.MVN, error) {
+	if g.mvn != nil {
+		return g.mvn, nil
+	}
 	cov := c.CovMatrix()
 	n := len(g.Paths)
 	sigma := la.NewMatrix(n, n)

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"effitest/internal/pool"
+	"effitest/internal/tester"
+)
+
+// ChipResult is one element of the stream produced by Plan.RunChips: the
+// chip's position in the input slice, the chip itself, and either its
+// outcome or its per-chip error. A failing chip does not stop the other
+// chips — in a binning pipeline a per-chip failure is itself a result.
+type ChipResult struct {
+	Index   int
+	Chip    *tester.Chip
+	Outcome *ChipOutcome
+	Err     error
+}
+
+// RunChips executes the online flow on every chip at period Td, fanning the
+// chips across a bounded worker pool (`workers` as in Config.Workers: 0 =
+// all CPUs, 1 = sequential) and streaming one ChipResult per chip, strictly
+// in input order. Outcomes are bit-identical to a sequential loop of
+// RunChip calls at any worker count: chips never share mutable state, and a
+// reorder buffer restores input order.
+//
+// The returned sequence is single-use. Breaking out of the range stops the
+// remaining chips and releases every worker — no cancellation needed for
+// early exit. Cancelling the context aborts in-flight chips promptly; the
+// remaining results still arrive, carrying the context's error, so the
+// stream always yields exactly len(chips) results unless the consumer
+// breaks first.
+func (pl *Plan) RunChips(ctx context.Context, chips []*tester.Chip, Td float64, workers int) iter.Seq[ChipResult] {
+	return func(yield func(ChipResult) bool) {
+		if len(chips) == 0 {
+			return
+		}
+		w := pool.Resolve(workers)
+		if w > len(chips) {
+			w = len(chips)
+		}
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		inner := make(chan ChipResult, w)
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(chips) {
+						return
+					}
+					r := ChipResult{Index: i, Chip: chips[i]}
+					if r.Err = ctx.Err(); r.Err == nil {
+						r.Outcome, r.Err = pl.RunChipCtx(ctx, chips[i], Td)
+					}
+					inner <- r
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(inner)
+		}()
+		// On early exit (consumer break), cancel and drain inner so the
+		// workers can finish and terminate; claims made after cancellation
+		// resolve instantly. After a complete iteration this is a no-op on
+		// an already closed, empty channel.
+		defer func() {
+			cancel()
+			for range inner {
+			}
+		}()
+
+		// Reorder buffer: workers finish out of order, the stream is
+		// emitted in index order.
+		pending := make(map[int]ChipResult, w)
+		sendNext := 0
+		for r := range inner {
+			pending[r.Index] = r
+			for {
+				q, ok := pending[sendNext]
+				if !ok {
+					break
+				}
+				delete(pending, sendNext)
+				sendNext++
+				if !yield(q) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// RunChipsAll runs RunChips and collects every outcome, returning the
+// lowest-index per-chip error (exactly what a sequential loop would have
+// hit first) if any chip failed. The outcome slice is parallel to chips.
+func (pl *Plan) RunChipsAll(ctx context.Context, chips []*tester.Chip, Td float64, workers int) ([]*ChipOutcome, error) {
+	outs := make([]*ChipOutcome, len(chips))
+	for r := range pl.RunChips(ctx, chips, Td, workers) {
+		if r.Err != nil {
+			// Results stream in index order, so the first error seen is the
+			// lowest-index one; breaking stops the remaining chips.
+			return nil, r.Err
+		}
+		outs[r.Index] = r.Outcome
+	}
+	return outs, nil
+}

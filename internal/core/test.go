@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -48,8 +49,9 @@ func NoHoldBounds(from, to int) float64 { return math.Inf(-1) }
 // own pass/fail bit; a path is removed once its window is narrower than ε.
 //
 // It returns the number of tester iterations spent and the time spent in the
-// alignment solver (the paper's Tt component).
-func RunBatchTest(ate *tester.ATE, c *circuit.Circuit, batch []int, b *Bounds, lambda LambdaFunc, cfg Config) (int, time.Duration, error) {
+// alignment solver (the paper's Tt component). The context is checked before
+// every frequency step, so cancelling it aborts a long batch promptly.
+func RunBatchTest(ctx context.Context, ate *tester.ATE, c *circuit.Circuit, batch []int, b *Bounds, lambda LambdaFunc, cfg Config) (int, time.Duration, error) {
 	active := make([]int, 0, len(batch))
 	for _, p := range batch {
 		if b.Width(p) >= cfg.Eps {
@@ -65,6 +67,9 @@ func RunBatchTest(ate *tester.ATE, c *circuit.Circuit, batch []int, b *Bounds, l
 	var prevX []float64
 
 	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return iters, alignDur, err
+		}
 		if iters >= maxIters {
 			return iters, alignDur, fmt.Errorf("core: batch did not converge in %d iterations", maxIters)
 		}

@@ -7,12 +7,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"effitest/internal/baseline"
 	"effitest/internal/circuit"
 	"effitest/internal/core"
+	"effitest/internal/pool"
 	"effitest/internal/rng"
 	"effitest/internal/tester"
 	"effitest/internal/yield"
@@ -71,7 +73,10 @@ type Table1Row struct {
 }
 
 // Table1 reproduces one row of Table 1 for the given benchmark profile.
-func Table1(p circuit.Profile, cfg Config) (Table1Row, error) {
+// The per-chip cost loop (proposed flow plus the path-wise baseline) fans
+// out across cfg.Core.Workers goroutines and is reduced in chip order, so
+// the row does not depend on the worker count.
+func Table1(ctx context.Context, p circuit.Profile, cfg Config) (Table1Row, error) {
 	c, err := circuit.Generate(p, cfg.Seed)
 	if err != nil {
 		return Table1Row{}, err
@@ -80,7 +85,10 @@ func Table1(p circuit.Profile, cfg Config) (Table1Row, error) {
 	if err != nil {
 		return Table1Row{}, err
 	}
-	td := yield.PeriodQuantile(c, rng.Seed(cfg.Seed, "quantile", p.Name), cfg.QuantileChips, 0.8413)
+	td, err := yield.PeriodQuantileCtx(ctx, c, rng.Seed(cfg.Seed, "quantile", p.Name), cfg.QuantileChips, 0.8413, cfg.Core.Workers)
+	if err != nil {
+		return Table1Row{}, err
+	}
 
 	row := Table1Row{
 		Circuit: p.Name,
@@ -94,28 +102,48 @@ func Table1(p circuit.Profile, cfg Config) (Table1Row, error) {
 	for i := range all {
 		all[i] = i
 	}
+	// One slot per chip: workers fill their own slot, the reduction below
+	// runs in chip order.
+	type chipCost struct {
+		iters, pwIters int
+		align, config  time.Duration
+		configured     bool
+	}
+	costs := make([]chipCost, cfg.CostChips)
+	err = pool.ForEach(ctx, cfg.CostChips, cfg.Core.Workers, func(i int) error {
+		ch := tester.SampleChip(c, seed, i)
+		out, err := plan.RunChipCtx(ctx, ch, td)
+		if err != nil {
+			return err
+		}
+		ateBase := tester.NewATE(ch, cfg.Core.TesterResolution)
+		pwIters, _, err := baseline.Pathwise(ctx, ateBase, c, all, cfg.Core)
+		if err != nil {
+			return err
+		}
+		costs[i] = chipCost{
+			iters:      out.Iterations,
+			pwIters:    pwIters,
+			align:      out.AlignDuration,
+			config:     out.ConfigDuration,
+			configured: out.Configured,
+		}
+		return nil
+	})
+	if err != nil {
+		return row, err
+	}
 	var sumTA, sumTPA int
 	var alignDur, cfgDur time.Duration
 	var configured int
-	for i := 0; i < cfg.CostChips; i++ {
-		ch := tester.SampleChip(c, seed, i)
-		out, err := plan.RunChip(ch, td)
-		if err != nil {
-			return row, err
-		}
-		sumTA += out.Iterations
-		alignDur += out.AlignDuration
-		cfgDur += out.ConfigDuration
-		if out.Configured {
+	for _, cc := range costs {
+		sumTA += cc.iters
+		sumTPA += cc.pwIters
+		alignDur += cc.align
+		cfgDur += cc.config
+		if cc.configured {
 			configured++
 		}
-
-		ateBase := tester.NewATE(ch, cfg.Core.TesterResolution)
-		iters, _, err := baseline.Pathwise(ateBase, c, all, cfg.Core)
-		if err != nil {
-			return row, err
-		}
-		sumTPA += iters
 	}
 	n := float64(cfg.CostChips)
 	row.TA = float64(sumTA) / n
@@ -139,8 +167,9 @@ type Table2Row struct {
 	T1NoBuffer, T2NoBuffer float64 // percent (sanity: ≈50 and ≈84.13)
 }
 
-// Table2 reproduces one row of Table 2.
-func Table2(p circuit.Profile, cfg Config) (Table2Row, error) {
+// Table2 reproduces one row of Table 2. The proposed-flow yield runs fan
+// chips across cfg.Core.Workers goroutines.
+func Table2(ctx context.Context, p circuit.Profile, cfg Config) (Table2Row, error) {
 	c, err := circuit.Generate(p, cfg.Seed)
 	if err != nil {
 		return Table2Row{}, err
@@ -150,14 +179,27 @@ func Table2(p circuit.Profile, cfg Config) (Table2Row, error) {
 		return Table2Row{}, err
 	}
 	qseed := rng.Seed(cfg.Seed, "quantile", p.Name)
-	t1 := yield.PeriodQuantile(c, qseed, cfg.QuantileChips, 0.50)
-	t2 := yield.PeriodQuantile(c, qseed, cfg.QuantileChips, 0.8413)
+	t1, err := yield.PeriodQuantileCtx(ctx, c, qseed, cfg.QuantileChips, 0.50, cfg.Core.Workers)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	t2, err := yield.PeriodQuantileCtx(ctx, c, qseed, cfg.QuantileChips, 0.8413, cfg.Core.Workers)
+	if err != nil {
+		return Table2Row{}, err
+	}
 
-	chips := tester.SampleChips(c, chipSeed(cfg, p.Name), cfg.YieldChips)
+	chips, err := tester.SampleChipsCtx(ctx, c, chipSeed(cfg, p.Name), cfg.YieldChips, cfg.Core.Workers)
+	if err != nil {
+		return Table2Row{}, err
+	}
 	row := Table2Row{Circuit: p.Name, T1: t1, T2: t2}
 	for i, T := range []float64{t1, t2} {
-		yi := 100 * yield.Ideal(c, chips, T)
-		st, err := yield.Proposed(plan, chips, T)
+		yiFrac, err := yield.IdealCtx(ctx, c, chips, T, cfg.Core.Workers)
+		if err != nil {
+			return row, err
+		}
+		yi := 100 * yiFrac
+		st, err := yield.ProposedCtx(ctx, plan, chips, T)
 		if err != nil {
 			return row, err
 		}
@@ -184,12 +226,15 @@ type Fig7Row struct {
 // Fig7 reproduces one bar group of Figure 7. The clock period is calibrated
 // on the *original* circuit (T2, 84.13% base yield); the inflated randomness
 // then degrades all three cases, with the buffered ones staying far ahead.
-func Fig7(p circuit.Profile, cfg Config) (Fig7Row, error) {
+func Fig7(ctx context.Context, p circuit.Profile, cfg Config) (Fig7Row, error) {
 	c, err := circuit.Generate(p, cfg.Seed)
 	if err != nil {
 		return Fig7Row{}, err
 	}
-	t2 := yield.PeriodQuantile(c, rng.Seed(cfg.Seed, "quantile", p.Name), cfg.QuantileChips, 0.8413)
+	t2, err := yield.PeriodQuantileCtx(ctx, c, rng.Seed(cfg.Seed, "quantile", p.Name), cfg.QuantileChips, 0.8413, cfg.Core.Workers)
+	if err != nil {
+		return Fig7Row{}, err
+	}
 	inflated, err := c.WithInflatedSigma(1.1)
 	if err != nil {
 		return Fig7Row{}, err
@@ -198,8 +243,15 @@ func Fig7(p circuit.Profile, cfg Config) (Fig7Row, error) {
 	if err != nil {
 		return Fig7Row{}, err
 	}
-	chips := tester.SampleChips(inflated, chipSeed(cfg, p.Name+"-fig7"), cfg.YieldChips)
-	st, err := yield.Proposed(plan, chips, t2)
+	chips, err := tester.SampleChipsCtx(ctx, inflated, chipSeed(cfg, p.Name+"-fig7"), cfg.YieldChips, cfg.Core.Workers)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	st, err := yield.ProposedCtx(ctx, plan, chips, t2)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	ideal, err := yield.IdealCtx(ctx, inflated, chips, t2, cfg.Core.Workers)
 	if err != nil {
 		return Fig7Row{}, err
 	}
@@ -207,7 +259,7 @@ func Fig7(p circuit.Profile, cfg Config) (Fig7Row, error) {
 		Circuit:  p.Name,
 		NoBuffer: 100 * yield.NoBuffer(chips, t2),
 		Proposed: 100 * st.Yield,
-		Ideal:    100 * yield.Ideal(inflated, chips, t2),
+		Ideal:    100 * ideal,
 	}, nil
 }
 
@@ -220,8 +272,9 @@ type Fig8Row struct {
 	Proposed  float64 // multiplexing with delay alignment
 }
 
-// Fig8 reproduces one bar group of Figure 8.
-func Fig8(p circuit.Profile, cfg Config) (Fig8Row, error) {
+// Fig8 reproduces one bar group of Figure 8. Chips run in parallel; each
+// chip measures every path three ways on its own ATE sessions.
+func Fig8(ctx context.Context, p circuit.Profile, cfg Config) (Fig8Row, error) {
 	c, err := circuit.Generate(p, cfg.Seed)
 	if err != nil {
 		return Fig8Row{}, err
@@ -237,30 +290,39 @@ func Fig8(p circuit.Profile, cfg Config) (Fig8Row, error) {
 		all[i] = i
 	}
 	seed := chipSeed(cfg, p.Name+"-fig8")
-	var sumPW, sumMux, sumAligned int
-	for i := 0; i < cfg.Fig8Chips; i++ {
+	type chipIters struct{ pw, mux, aligned int }
+	iters := make([]chipIters, cfg.Fig8Chips)
+	err = pool.ForEach(ctx, cfg.Fig8Chips, runCfg.Workers, func(i int) error {
 		ch := tester.SampleChip(c, seed, i)
 
 		ate1 := tester.NewATE(ch, runCfg.TesterResolution)
-		pw, _, err := baseline.Pathwise(ate1, c, all, runCfg)
+		pw, _, err := baseline.Pathwise(ctx, ate1, c, all, runCfg)
 		if err != nil {
-			return Fig8Row{}, err
+			return err
 		}
-		sumPW += pw
 
 		ate2 := tester.NewATE(ch, runCfg.TesterResolution)
-		mux, _, err := baseline.Multiplex(ate2, c, all, hb.Lambda, runCfg, false)
+		mux, _, err := baseline.Multiplex(ctx, ate2, c, all, hb.Lambda, runCfg, false)
 		if err != nil {
-			return Fig8Row{}, err
+			return err
 		}
-		sumMux += mux
 
 		ate3 := tester.NewATE(ch, runCfg.TesterResolution)
-		al, _, err := baseline.Multiplex(ate3, c, all, hb.Lambda, runCfg, true)
+		al, _, err := baseline.Multiplex(ctx, ate3, c, all, hb.Lambda, runCfg, true)
 		if err != nil {
-			return Fig8Row{}, err
+			return err
 		}
-		sumAligned += al
+		iters[i] = chipIters{pw: pw, mux: mux, aligned: al}
+		return nil
+	})
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	var sumPW, sumMux, sumAligned int
+	for _, it := range iters {
+		sumPW += it.pw
+		sumMux += it.mux
+		sumAligned += it.aligned
 	}
 	denom := float64(cfg.Fig8Chips) * float64(c.NumPaths())
 	return Fig8Row{

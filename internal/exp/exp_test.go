@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func fastCfg() Config {
 
 func TestTable1ShapeTargets(t *testing.T) {
 	p, _ := circuit.ProfileByName("s9234")
-	row, err := Table1(p, fastCfg())
+	row, err := Table1(context.Background(), p, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestTable2ShapeTargets(t *testing.T) {
 	p, _ := circuit.ProfileByName("s9234")
 	cfg := fastCfg()
 	cfg.YieldChips = 120
-	row, err := Table2(p, cfg)
+	row, err := Table2(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestFig7ShapeTargets(t *testing.T) {
 	p, _ := circuit.ProfileByName("s9234")
 	cfg := fastCfg()
 	cfg.YieldChips = 80
-	row, err := Fig7(p, cfg)
+	row, err := Fig7(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFig7ShapeTargets(t *testing.T) {
 
 func TestFig8Ordering(t *testing.T) {
 	p, _ := circuit.ProfileByName("s9234")
-	row, err := Fig8(p, fastCfg())
+	row, err := Fig8(context.Background(), p, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,93 @@
+// Package pool provides the bounded worker-pool primitive behind the
+// engine's parallel chip execution. Work items are claimed from a shared
+// atomic counter, so scheduling is dynamic, but all determinism-sensitive
+// aggregation is left to callers, who index results by item and reduce in
+// item order.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a configured worker count to an effective one: n > 0 is used
+// as-is, anything else means one worker per logical CPU.
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(0), ..., fn(n-1) on up to `workers` goroutines (Resolve
+// semantics) and blocks until all claimed items finish. Once the context is
+// cancelled or some fn returns an error, no further items are claimed.
+//
+// The returned error is deterministic even under concurrency: indices are
+// claimed in ascending order and every claimed item runs to completion, so
+// the lowest-index error always gets recorded before the pool drains. That
+// is exactly the error a sequential loop would have returned. If no fn
+// failed but the context was cancelled, the context error is returned.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	next.Store(-1)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,111 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(4); got != 4 {
+		t.Fatalf("Resolve(4) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Resolve(0); got != want {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Resolve(-3); got != want {
+		t.Fatalf("Resolve(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		const n = 100
+		var counts [n]atomic.Int32
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachReturnsLowestIndexError races a fast high-index failure
+// against a slow low-index failure: the returned error must be the one a
+// sequential loop would have hit first.
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("fail@%d", i) }
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(context.Background(), 50, 8, func(i int) error {
+			switch i {
+			case 3:
+				time.Sleep(2 * time.Millisecond) // loses the race...
+				return errAt(3)
+			case 9:
+				return errAt(9) // ...to this one
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@3" {
+			t.Fatalf("trial %d: err = %v, want fail@3", trial, err)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 1_000_000, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 10_000 {
+		t.Fatalf("%d items ran after an index-0 error; claiming did not stop", n)
+	}
+}
+
+func TestForEachCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 100, 4, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A few items may have been claimed before the workers observed the
+	// cancellation, but the bulk must not run.
+	if n := ran.Load(); n > 8 {
+		t.Fatalf("%d items ran under a pre-cancelled context", n)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	if err := ForEach(context.Background(), 0, 4, func(i int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}

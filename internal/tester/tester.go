@@ -6,11 +6,13 @@
 package tester
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"effitest/internal/circuit"
+	"effitest/internal/pool"
 	"effitest/internal/rng"
 	"effitest/internal/skew"
 )
@@ -55,13 +57,40 @@ func SampleChip(c *circuit.Circuit, seed int64, index int) *Chip {
 	return ch
 }
 
-// SampleChips manufactures n chips.
+// SampleChips manufactures n chips, using every CPU. Chip i depends only on
+// (seed, i), so the result is identical to a sequential loop.
 func SampleChips(c *circuit.Circuit, seed int64, n int) []*Chip {
-	out := make([]*Chip, n)
-	for i := range out {
-		out[i] = SampleChip(c, seed, i)
-	}
+	out, _ := SampleChipsCtx(context.Background(), c, seed, n, 0)
 	return out
+}
+
+// SampleChipsCtx manufactures n chips on a bounded worker pool (workers as
+// in core.Config.Workers: 0 = all CPUs) with cancellation. The returned
+// slice is deterministic in (seed, n) at any worker count.
+func SampleChipsCtx(ctx context.Context, c *circuit.Circuit, seed int64, n, workers int) ([]*Chip, error) {
+	out := make([]*Chip, n)
+	err := pool.ForEach(ctx, n, workers, func(i int) error {
+		out[i] = SampleChip(c, seed, i)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats is a race-free aggregate of per-session ATE accounting. Workers run
+// each chip on its own ATE; the reducer folds the per-chip counters into a
+// Stats in chip order, so totals are deterministic.
+type Stats struct {
+	Iterations int
+	ScanBits   int64
+}
+
+// Add folds one session's accounting into the aggregate.
+func (s *Stats) Add(iterations int, scanBits int64) {
+	s.Iterations += iterations
+	s.ScanBits += scanBits
 }
 
 // SetupSlack returns Td - (D + x_i - x_j) for path p under buffer values x;

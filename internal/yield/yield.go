@@ -1,13 +1,18 @@
 // Package yield evaluates manufacturing yield under the three regimes the
 // paper compares: no tuning buffers, buffers configured from a perfect
 // delay measurement (yi), and buffers configured by the EffiTest flow (yt).
+// The Monte-Carlo loops fan out across the engine's worker pool; every
+// aggregate is reduced in chip order, so results are identical at any
+// worker count.
 package yield
 
 import (
+	"context"
 	"time"
 
 	"effitest/internal/circuit"
 	"effitest/internal/core"
+	"effitest/internal/pool"
 	"effitest/internal/skew"
 	"effitest/internal/stats"
 	"effitest/internal/tester"
@@ -18,11 +23,23 @@ import (
 // are the 0.5 and 0.8413 quantiles ("the original yields without buffers
 // were 50% and 84.13%").
 func PeriodQuantile(c *circuit.Circuit, seed int64, n int, q float64) float64 {
+	v, _ := PeriodQuantileCtx(context.Background(), c, seed, n, q, 0)
+	return v
+}
+
+// PeriodQuantileCtx is PeriodQuantile with cancellation and an explicit
+// worker count (0 = all CPUs). Chip i is deterministic in (seed, i), so the
+// quantile does not depend on the worker count.
+func PeriodQuantileCtx(ctx context.Context, c *circuit.Circuit, seed int64, n int, q float64, workers int) (float64, error) {
 	xs := make([]float64, n)
-	for i := 0; i < n; i++ {
+	err := pool.ForEach(ctx, n, workers, func(i int) error {
 		xs[i] = tester.SampleChip(c, seed, i).CriticalDelay()
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return stats.Quantile(xs, q)
+	return stats.Quantile(xs, q), nil
 }
 
 // NoBuffer returns the fraction of chips meeting period T with all buffers
@@ -45,26 +62,44 @@ func NoBuffer(chips []*tester.Chip, T float64) float64 {
 // a discrete buffer assignment exists for its exact realized delays (setup
 // at T, true hold bounds, buffer ranges and lattice).
 func Ideal(c *circuit.Circuit, chips []*tester.Chip, T float64) float64 {
+	v, _ := IdealCtx(context.Background(), c, chips, T, 0)
+	return v
+}
+
+// IdealCtx is Ideal with cancellation and an explicit worker count. The
+// per-chip feasibility checks are independent, so the yield is identical at
+// any worker count.
+func IdealCtx(ctx context.Context, c *circuit.Circuit, chips []*tester.Chip, T float64, workers int) (float64, error) {
 	if len(chips) == 0 {
-		return 0
+		return 0, nil
 	}
-	pass := 0
-	for _, ch := range chips {
-		if x, ok := skew.FeasibleDiscrete(T, ch.Arcs(), c.Buf); ok {
+	ok := make([]bool, len(chips))
+	err := pool.ForEach(ctx, len(chips), workers, func(i int) error {
+		ch := chips[i]
+		if x, feasible := skew.FeasibleDiscrete(T, ch.Arcs(), c.Buf); feasible {
 			// FeasibleDiscrete guarantees constraint satisfaction; double
 			// check against the chip oracle for defense in depth.
-			if ch.PassesAt(T, x) && ch.HoldOK(x) {
-				pass++
-			}
+			ok[i] = ch.PassesAt(T, x) && ch.HoldOK(x)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	pass := 0
+	for _, v := range ok {
+		if v {
+			pass++
 		}
 	}
-	return float64(pass) / float64(len(chips))
+	return float64(pass) / float64(len(chips)), nil
 }
 
 // ProposedStats aggregates the per-chip outcomes of the EffiTest flow.
 type ProposedStats struct {
 	Yield          float64
 	AvgIterations  float64
+	AvgScanBits    float64
 	AvgAlignTime   time.Duration
 	AvgConfigTime  time.Duration
 	ConfiguredFrac float64
@@ -79,39 +114,60 @@ type CurvePoint struct {
 
 // Curve sweeps the clock period from loT to hiT in steps and evaluates the
 // no-buffer and ideal-tuning yields at each point — the shmoo-style view of
-// what tuning buys across the frequency range.
+// what tuning buys across the frequency range. Steps are evaluated in
+// parallel on every CPU.
 func Curve(c *circuit.Circuit, chips []*tester.Chip, loT, hiT float64, steps int) []CurvePoint {
+	out, _ := CurveCtx(context.Background(), c, chips, loT, hiT, steps, 0)
+	return out
+}
+
+// CurveCtx is Curve with cancellation and an explicit worker count.
+func CurveCtx(ctx context.Context, c *circuit.Circuit, chips []*tester.Chip, loT, hiT float64, steps, workers int) ([]CurvePoint, error) {
 	if steps < 2 {
 		steps = 2
 	}
 	out := make([]CurvePoint, steps)
-	for i := 0; i < steps; i++ {
+	err := pool.ForEach(ctx, steps, workers, func(i int) error {
 		T := loT + (hiT-loT)*float64(i)/float64(steps-1)
-		out[i] = CurvePoint{
-			T:        T,
-			NoBuffer: NoBuffer(chips, T),
-			Ideal:    Ideal(c, chips, T),
+		ideal, err := IdealCtx(ctx, c, chips, T, 1)
+		if err != nil {
+			return err
 		}
+		out[i] = CurvePoint{T: T, NoBuffer: NoBuffer(chips, T), Ideal: ideal}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // Proposed runs the full EffiTest flow (aligned test, prediction,
 // configuration, final pass/fail) on every chip and aggregates yield and
-// tester cost.
+// tester cost. Chips run on the plan's configured worker pool
+// (Config.Workers).
 func Proposed(plan *core.Plan, chips []*tester.Chip, T float64) (ProposedStats, error) {
+	return ProposedCtx(context.Background(), plan, chips, T)
+}
+
+// ProposedCtx is Proposed with cancellation. Chips fan out across the
+// plan's worker pool; the per-chip ATE accounting (iterations, scan bits)
+// is reduced from the ordered result stream, so the aggregate is bit-
+// identical to a sequential run.
+func ProposedCtx(ctx context.Context, plan *core.Plan, chips []*tester.Chip, T float64) (ProposedStats, error) {
 	var st ProposedStats
 	if len(chips) == 0 {
 		return st, nil
 	}
-	var iters, passed, configured int
+	outs, err := plan.RunChipsAll(ctx, chips, T, plan.Cfg.Workers)
+	if err != nil {
+		return st, err
+	}
+	var ate tester.Stats
+	var passed, configured int
 	var alignDur, cfgDur time.Duration
-	for _, ch := range chips {
-		out, err := plan.RunChip(ch, T)
-		if err != nil {
-			return st, err
-		}
-		iters += out.Iterations
+	for _, out := range outs {
+		ate.Add(out.Iterations, out.ScanBits)
 		alignDur += out.AlignDuration
 		cfgDur += out.ConfigDuration
 		if out.Configured {
@@ -123,7 +179,8 @@ func Proposed(plan *core.Plan, chips []*tester.Chip, T float64) (ProposedStats, 
 	}
 	n := float64(len(chips))
 	st.Yield = float64(passed) / n
-	st.AvgIterations = float64(iters) / n
+	st.AvgIterations = float64(ate.Iterations) / n
+	st.AvgScanBits = float64(ate.ScanBits) / n
 	st.AvgAlignTime = time.Duration(float64(alignDur) / n)
 	st.AvgConfigTime = time.Duration(float64(cfgDur) / n)
 	st.ConfiguredFrac = float64(configured) / n
