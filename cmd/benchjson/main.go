@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark results can be committed
+// (BENCH_<pr>.json) and the performance trajectory tracked across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson -o BENCH_2.json
+//
+// Standard columns (iterations, ns/op, B/op, allocs/op) and custom
+// b.ReportMetric units (tester_iters, chips/s, ...) all land in the
+// per-benchmark metrics map. Non-benchmark lines are ignored, so piping the
+// whole `go test` output through is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoVersion string   `json:"goVersion"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"numCPU"`
+	Label     string   `json:"label,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   7 custom/unit".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+(.*\S)\s*$`)
+
+func parseLine(line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:    strings.TrimPrefix(m[1], "Benchmark"),
+		Metrics: map[string]float64{},
+	}
+	if m[2] != "" {
+		r.Procs, _ = strconv.Atoi(m[2])
+	}
+	var err error
+	if r.Iterations, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+		return Result{}, false
+	}
+	fields := strings.Fields(m[4])
+	if len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	label := flag.String("label", "", "free-form label recorded in the report (e.g. a PR number)")
+	flag.Parse()
+
+	report := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Label:     *label,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			report.Results = append(report.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d results -> %s\n", len(report.Results), *out)
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		name string
+		want map[string]float64
+	}{
+		{
+			line: "BenchmarkFlowChip/s9234-8   	      36	  31415926 ns/op	        16.0 tester_iters",
+			ok:   true, name: "FlowChip/s9234",
+			want: map[string]float64{"ns/op": 31415926, "tester_iters": 16},
+		},
+		{
+			line: "BenchmarkEngineRunChips/workers-all-8         1  2000000 ns/op  32000 chips/s",
+			ok:   true, name: "EngineRunChips/workers-all",
+			want: map[string]float64{"ns/op": 2e6, "chips/s": 32000},
+		},
+		{
+			line: "BenchmarkPrepare 10 500 ns/op", // no -procs suffix
+			ok:   true, name: "Prepare",
+			want: map[string]float64{"ns/op": 500},
+		},
+		{line: "ok  	effitest	61.395s", ok: false},
+		{line: "PASS", ok: false},
+		{line: "BenchmarkBroken-8 notanumber ns/op", ok: false},
+		{line: "", ok: false},
+	}
+	for _, tc := range cases {
+		r, ok := parseLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if r.Name != tc.name {
+			t.Errorf("parseLine(%q) name = %q, want %q", tc.line, r.Name, tc.name)
+		}
+		for unit, v := range tc.want {
+			if r.Metrics[unit] != v {
+				t.Errorf("parseLine(%q) metric %s = %v, want %v", tc.line, unit, r.Metrics[unit], v)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"math"
 
 	"effitest/internal/circuit"
 	"effitest/internal/core"
@@ -70,7 +71,8 @@ func WithSeed(seed int64) Option {
 
 // WithWorkers bounds the goroutines used by RunChips and everything built
 // on it. 0 (the default) means one worker per logical CPU; 1 forces
-// sequential execution. Results are bit-identical at any worker count.
+// sequential execution; negative counts are rejected by New. Results are
+// bit-identical at any worker count.
 func WithWorkers(n int) Option {
 	return func(s *engineSettings) { s.cfg.Workers = n }
 }
@@ -135,7 +137,9 @@ type Engine struct {
 
 // New prepares an Engine for the circuit: it runs the offline flow
 // (Prepare) under the configuration assembled from the options and
-// calibrates the test period (unless WithPeriod pinned one).
+// calibrates the test period (unless WithPeriod pinned one). Invalid
+// option values (non-positive ε, negative worker counts, out-of-range
+// quantiles, ...) fail construction with a descriptive error.
 //
 //	eng, err := effitest.New(c,
 //		effitest.WithAlignMode(effitest.AlignHeuristic),
@@ -160,8 +164,17 @@ func NewCtx(ctx context.Context, c *Circuit, opts ...Option) (*Engine, error) {
 	for _, o := range opts {
 		o(&s)
 	}
-	if s.calibChips <= 0 {
-		return nil, fmt.Errorf("effitest: period-quantile chip count must be positive")
+	if s.periodSet {
+		if math.IsNaN(s.period) || math.IsInf(s.period, 0) || s.period <= 0 {
+			return nil, fmt.Errorf("effitest: test period must be positive, got %v", s.period)
+		}
+	} else {
+		if math.IsNaN(s.quantile) || s.quantile <= 0 || s.quantile >= 1 {
+			return nil, fmt.Errorf("effitest: period quantile must be in (0, 1), got %v", s.quantile)
+		}
+		if s.calibChips <= 0 {
+			return nil, fmt.Errorf("effitest: period-quantile chip count must be positive, got %d", s.calibChips)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -20,6 +21,38 @@ import (
 // write/parse round trip reproduces the circuit exactly.
 
 const netlistHeader = "effitest-netlist v1"
+
+// Parser hardening bounds. Netlists are an interchange format, so the
+// parser must fail cleanly on hostile input instead of allocating
+// unboundedly: the flip-flop count sizes several arrays up front, and the
+// variation grid is Cholesky-factorized (O(cells³)). Larger models remain
+// available programmatically.
+const (
+	maxNetlistFF        = 1 << 20
+	maxNetlistGridCells = 1024
+	maxNetlistSteps     = 1 << 20
+)
+
+// netlistArity maps every directive to its fixed argument count.
+var netlistArity = map[string]int{
+	"end": 0, "circuit": 1, "ffs": 1, "setup": 1, "hold": 1, "tnominal": 1,
+	"variation": 11, "buffer": 4, "gate": 4, "path": 6, "exclusive": 2,
+}
+
+// parseFinite parses a float and rejects NaN/±Inf: every numeric quantity
+// in a netlist is a physical delay, sigma or scale, and a non-finite value
+// would sail through downstream validation (NaN compares false against
+// every bound) and corrupt the statistical model.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}
 
 func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
@@ -108,22 +141,28 @@ func ParseNetlist(r io.Reader) (*Circuit, error) {
 			return nil, fail("missing end marker")
 		}
 		fields := strings.Fields(ln)
+		// Every directive has a fixed arity; checking it here keeps the
+		// per-case code free of index-out-of-range hazards on truncated
+		// lines.
+		if want, known := netlistArity[fields[0]]; known && len(fields) != want+1 {
+			return nil, fail("%s wants %d args, got %d", fields[0], want, len(fields)-1)
+		}
 		switch fields[0] {
 		case "end":
 			goto done
 		case "circuit":
-			if len(fields) != 2 {
-				return nil, fail("circuit wants 1 arg")
-			}
 			c.Name = fields[1]
 		case "ffs":
 			v, err := strconv.Atoi(fields[1])
 			if err != nil {
 				return nil, fail("bad ff count: %v", err)
 			}
+			if v < 1 || v > maxNetlistFF {
+				return nil, fail("ff count %d outside [1, %d]", v, maxNetlistFF)
+			}
 			c.NumFF = v
 		case "setup", "hold", "tnominal":
-			v, err := strconv.ParseFloat(fields[1], 64)
+			v, err := parseFinite(fields[1])
 			if err != nil {
 				return nil, fail("bad %s: %v", fields[0], err)
 			}
@@ -136,9 +175,6 @@ func ParseNetlist(r io.Reader) (*Circuit, error) {
 				c.TNominal = v
 			}
 		case "variation":
-			if len(fields) != 12 {
-				return nil, fail("variation wants 11 args")
-			}
 			ints := [2]int{}
 			for i := 0; i < 2; i++ {
 				v, err := strconv.Atoi(fields[1+i])
@@ -147,13 +183,26 @@ func ParseNetlist(r io.Reader) (*Circuit, error) {
 				}
 				ints[i] = v
 			}
+			// Bound each dimension before multiplying: the product of two
+			// huge ints can wrap past the cell cap.
+			if ints[0] < 1 || ints[1] < 1 ||
+				ints[0] > maxNetlistGridCells || ints[1] > maxNetlistGridCells ||
+				ints[0]*ints[1] > maxNetlistGridCells {
+				return nil, fail("variation grid %dx%d outside [1,1]..[%d cells]", ints[0], ints[1], maxNetlistGridCells)
+			}
 			fs := [9]float64{}
 			for i := 0; i < 9; i++ {
-				v, err := strconv.ParseFloat(fields[3+i], 64)
+				v, err := parseFinite(fields[3+i])
 				if err != nil {
 					return nil, fail("bad variation field: %v", err)
 				}
 				fs[i] = v
+			}
+			if fs[0] < 0 || fs[1] < 0 || fs[2] < 0 || fs[8] < 0 {
+				return nil, fail("variation sigmas must be non-negative")
+			}
+			if fs[4] <= 0 {
+				return nil, fail("variation correlation decay must be positive")
 			}
 			cfg = variation.Config{
 				GridW: ints[0], GridH: ints[1],
@@ -164,26 +213,26 @@ func ParseNetlist(r io.Reader) (*Circuit, error) {
 			}
 			haveVar = true
 		case "buffer":
-			if len(fields) != 5 {
-				return nil, fail("buffer wants 4 args")
-			}
 			ffid, err1 := strconv.Atoi(fields[1])
-			lo, err2 := strconv.ParseFloat(fields[2], 64)
-			hi, err3 := strconv.ParseFloat(fields[3], 64)
+			lo, err2 := parseFinite(fields[2])
+			hi, err3 := parseFinite(fields[3])
 			steps, err4 := strconv.Atoi(fields[4])
 			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 				return nil, fail("bad buffer line")
 			}
+			if lo > hi {
+				return nil, fail("buffer range [%g,%g] inverted", lo, hi)
+			}
+			if steps < 0 || steps > maxNetlistSteps {
+				return nil, fail("buffer steps %d outside [0, %d]", steps, maxNetlistSteps)
+			}
 			bufFF = append(bufFF, ffid)
 			bufDev = append(bufDev, buffers.Device{FF: ffid, Lo: lo, Hi: hi, Steps: steps})
 		case "gate":
-			if len(fields) != 5 {
-				return nil, fail("gate wants 4 args")
-			}
 			id, err1 := strconv.Atoi(fields[1])
 			x, err2 := strconv.Atoi(fields[2])
 			y, err3 := strconv.Atoi(fields[3])
-			nom, err4 := strconv.ParseFloat(fields[4], 64)
+			nom, err4 := parseFinite(fields[4])
 			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 				return nil, fail("bad gate line")
 			}
@@ -192,16 +241,16 @@ func ParseNetlist(r io.Reader) (*Circuit, error) {
 			}
 			c.Gates = append(c.Gates, Gate{ID: id, CellX: x, CellY: y, Nominal: nom})
 		case "path":
-			if len(fields) != 7 {
-				return nil, fail("path wants 6 args")
-			}
 			id, err1 := strconv.Atoi(fields[1])
 			from, err2 := strconv.Atoi(fields[2])
 			to, err3 := strconv.Atoi(fields[3])
 			cluster, err4 := strconv.Atoi(fields[4])
-			minScale, err5 := strconv.ParseFloat(fields[5], 64)
+			minScale, err5 := parseFinite(fields[5])
 			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
 				return nil, fail("bad path line")
+			}
+			if minScale < 0 {
+				return nil, fail("path min-scale %g negative", minScale)
 			}
 			var gates []int
 			for _, s := range strings.Split(fields[6], ",") {
@@ -213,9 +262,6 @@ func ParseNetlist(r io.Reader) (*Circuit, error) {
 			}
 			rawPaths = append(rawPaths, rawPath{id, from, to, cluster, minScale, gates})
 		case "exclusive":
-			if len(fields) != 3 {
-				return nil, fail("exclusive wants 2 args")
-			}
 			a, err1 := strconv.Atoi(fields[1])
 			b, err2 := strconv.Atoi(fields[2])
 			if err1 != nil || err2 != nil {

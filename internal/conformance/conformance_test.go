@@ -1,0 +1,225 @@
+package conformance
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"effitest/internal/circuit"
+	"effitest/internal/core"
+)
+
+func TestToleranceOK(t *testing.T) {
+	cases := []struct {
+		name      string
+		tol       Tolerance
+		got, want float64
+		ok        bool
+	}{
+		{"exact-equal", TolExact, 1.5, 1.5, true},
+		{"exact-differs", TolExact, 1.5, 1.5000001, false},
+		{"abs-within", Tolerance{Abs: 1e-6}, 1.0000005, 1.0, true},
+		{"abs-outside", Tolerance{Abs: 1e-6}, 1.00001, 1.0, false},
+		{"rel-within", Tolerance{Rel: 1e-3}, 1000.5, 1000.0, true},
+		{"rel-outside", Tolerance{Rel: 1e-3}, 1002, 1000.0, false},
+		{"rel-zero-want", Tolerance{Rel: 1e-3}, 1e-12, 0, false},
+		{"abs-covers-zero-want", Tolerance{Abs: 1e-9, Rel: 1e-3}, 1e-12, 0, true},
+		{"nan-got", TolFloat, 0, 1, false},
+	}
+	for _, tc := range cases {
+		if got := tc.tol.ok(tc.got, tc.want); got != tc.ok {
+			t.Errorf("%s: ok(%v, %v) = %v, want %v", tc.name, tc.got, tc.want, got, tc.ok)
+		}
+	}
+}
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Format: SnapshotFormat,
+		Scenario: Meta{
+			Name: "pipeline_x_heuristic_eps0.002_seed1", Kind: "pipeline",
+			Circuit: "x", Align: "heuristic", Eps: 0.002, Seed: 1, GenSeed: 1,
+			ChipSeed: 101, Chips: 2,
+		},
+		Pipeline: &PipelineSnap{
+			NumPaths: 10, NumTested: 4, NumFilled: 1, NumBatches: 2, MaxBatch: 3,
+			Period: 1.25, Yield: 0.5, AvgIterations: 12, AvgScanBits: 64, ConfiguredFrac: 1,
+			Chips: []ChipSnap{
+				{Iterations: 11, ScanBits: 60, Configured: true, Passed: true, Xi: 0.01, XSum: 0.2, XAbsSum: 0.3, BoundsLo: 9, BoundsHi: 11},
+				{Iterations: 13, ScanBits: 68, Configured: true, Passed: false, Xi: 0.02, XSum: -0.1, XAbsSum: 0.4, BoundsLo: 8, BoundsHi: 12},
+			},
+		},
+	}
+}
+
+func TestDiffDetectsPerturbations(t *testing.T) {
+	base := sampleSnapshot()
+	if diffs := Diff(sampleSnapshot(), base); len(diffs) != 0 {
+		t.Fatalf("identical snapshots diff: %v", diffs)
+	}
+
+	perturb := []struct {
+		field string
+		apply func(*Snapshot)
+	}{
+		{"pipeline.numTested", func(s *Snapshot) { s.Pipeline.NumTested++ }},
+		{"pipeline.period", func(s *Snapshot) { s.Pipeline.Period += 1e-6 }},
+		{"pipeline.yield", func(s *Snapshot) { s.Pipeline.Yield = 1 }},
+		{"pipeline.chips[1].iterations", func(s *Snapshot) { s.Pipeline.Chips[1].Iterations = 99 }},
+		{"pipeline.chips[0].passed", func(s *Snapshot) { s.Pipeline.Chips[0].Passed = false }},
+		{"pipeline.chips[0].xSum", func(s *Snapshot) { s.Pipeline.Chips[0].XSum += 1e-3 }},
+	}
+	for _, p := range perturb {
+		got := sampleSnapshot()
+		p.apply(got)
+		diffs := Diff(got, base)
+		if len(diffs) != 1 {
+			t.Fatalf("%s: want exactly 1 diff, got %d: %v", p.field, len(diffs), diffs)
+		}
+		if diffs[0].Field != p.field {
+			t.Errorf("perturbing %s reported as %s", p.field, diffs[0].Field)
+		}
+		if FormatDiffs(diffs) == "" {
+			t.Errorf("%s: empty rendering", p.field)
+		}
+	}
+
+	// Within-tolerance float noise must NOT diff.
+	got := sampleSnapshot()
+	got.Pipeline.Period += 1e-12
+	got.Pipeline.Chips[0].XSum += 1e-10
+	if diffs := Diff(got, base); len(diffs) != 0 {
+		t.Fatalf("sub-tolerance noise reported as regression: %v", diffs)
+	}
+
+	// A missing section is one diff, not a panic.
+	got = sampleSnapshot()
+	got.Pipeline = nil
+	if diffs := Diff(got, base); len(diffs) != 1 || diffs[0].Field != "pipeline" {
+		t.Fatalf("missing section: %v", diffs)
+	}
+
+	// Identity mismatch short-circuits field comparison.
+	got = sampleSnapshot()
+	got.Scenario.Eps = 0.004
+	got.Pipeline.Yield = 0
+	if diffs := Diff(got, base); len(diffs) != 1 || diffs[0].Field != "scenario.eps" {
+		t.Fatalf("identity mismatch: %v", diffs)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	path := filepath.Join(t.TempDir(), "golden", "x.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Diff(back, s); len(diffs) != 0 {
+		t.Fatalf("JSON round trip not lossless: %v", diffs)
+	}
+}
+
+func TestMatrixNamesUniqueAndCovered(t *testing.T) {
+	matrix := DefaultMatrix()
+	seen := map[string]bool{}
+	circuits := map[string]bool{}
+	aligns := map[string]bool{}
+	seeds := map[int64]bool{}
+	short := 0
+	for _, sc := range matrix {
+		name := sc.Name()
+		if seen[name] {
+			t.Fatalf("duplicate scenario name %s", name)
+		}
+		seen[name] = true
+		if _, err := sc.Profile(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Kind == KindPipeline {
+			circuits[sc.circuitName()] = true
+			aligns[sc.Align.String()] = true
+			seeds[sc.Seed] = true
+		}
+		if !sc.Heavy {
+			short++
+		}
+	}
+	// The acceptance floor of the golden corpus: ≥ 3 circuits × 2 alignment
+	// modes × 2 seeds.
+	if len(circuits) < 3 || len(aligns) < 2 || len(seeds) < 2 {
+		t.Fatalf("matrix too small: %d circuits × %d aligns × %d seeds", len(circuits), len(aligns), len(seeds))
+	}
+	if short == 0 {
+		t.Fatal("no short-mode scenario: -short would skip the whole corpus")
+	}
+}
+
+// TestExclusivePairsNeverShareBatch drives FormBatches with a dense
+// exclusive set (25× the default generator fraction) and asserts the §3.2
+// co-scheduling guarantee via PlanViolations.
+func TestExclusivePairsNeverShareBatch(t *testing.T) {
+	gen := circuit.DefaultGenConfig()
+	gen.ExclusiveFrac = 0.5
+	c, err := circuit.GenerateWith(circuit.TinyProfile("excl", 48, 480, 5, 64), 3, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Exclusive) < 10 {
+		t.Fatalf("generator emitted only %d exclusive pairs", len(c.Exclusive))
+	}
+	cfg := core.DefaultConfig()
+	all := make([]int, c.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	batches := core.FormBatches(c, all, cfg)
+	plan := &core.Plan{Circuit: c, Cfg: cfg, Tested: all, Batches: batches}
+	if v := PlanViolations(plan); len(v) > 0 {
+		t.Fatalf("batching violates invariants:\n%s", v)
+	}
+	// Sanity: the checker itself must catch a deliberately bad batch.
+	e := c.Exclusive[0]
+	plan.Batches = append(batches, []int{e[0], e[1]})
+	if v := PlanViolations(plan); len(v) == 0 {
+		t.Fatal("checker missed a co-scheduled exclusive pair")
+	}
+}
+
+// TestOutcomeCheckerCatchesTampering ensures OutcomeViolations detects a
+// deliberately corrupted configuration — the checks are live, not vacuous.
+func TestOutcomeCheckerCatchesTampering(t *testing.T) {
+	sc := Scenario{
+		Kind: KindPipeline, Custom: tiny64(), GenSeed: 1,
+		Align: core.AlignHeuristic, Eps: 0.002, Seed: 1,
+		Chips: 2, ChipSeed: 101, Quantile: 0.8413, CalibChips: 100,
+	}
+	res, err := RunPipeline(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := res.Engine.Plan()
+	for i, out := range res.Outs {
+		if v := OutcomeViolations(plan, out); len(v) > 0 {
+			t.Fatalf("chip %d: unexpected violations: %v", i, v)
+		}
+	}
+	out := res.Outs[0]
+	if !out.Configured {
+		t.Skip("first chip not configured; tampering check needs a configuration")
+	}
+	bad := *out
+	bad.X = append([]float64{}, out.X...)
+	for i, buffered := range res.Circuit.Buf.Buffered {
+		if buffered {
+			bad.X[i] = res.Circuit.Buf.Hi[i] + 1
+			break
+		}
+	}
+	if v := OutcomeViolations(plan, &bad); len(v) == 0 {
+		t.Fatal("checker missed an out-of-range buffer value")
+	}
+}

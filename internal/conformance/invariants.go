@@ -1,0 +1,130 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"effitest/internal/core"
+)
+
+// latticeSlack absorbs the float error of reconstructing a lattice point
+// (Lo + k·step) when checking that configured buffer values are quantized.
+const latticeSlack = 1e-9
+
+// PlanViolations checks the structural guarantees of the offline plan:
+//
+//   - batches contain only conflict-free paths: no two paths in a batch
+//     share a launching or capturing flip-flop, and no ATPG-exclusive pair
+//     is ever co-scheduled (§3.2);
+//   - batch sizes respect Config.MaxBatch;
+//   - every batched path is a tested path, and tested paths are unique and
+//     in range.
+//
+// It returns one human-readable string per violation; an empty slice means
+// the plan conforms.
+func PlanViolations(pl *core.Plan) []string {
+	var v []string
+	c := pl.Circuit
+	excl := make(map[[2]int]bool, 2*len(c.Exclusive))
+	for _, e := range c.Exclusive {
+		excl[[2]int{e[0], e[1]}] = true
+		excl[[2]int{e[1], e[0]}] = true
+	}
+	tested := make(map[int]bool, len(pl.Tested))
+	for _, p := range pl.Tested {
+		if p < 0 || p >= c.NumPaths() {
+			v = append(v, fmt.Sprintf("tested path %d out of range [0,%d)", p, c.NumPaths()))
+			continue
+		}
+		if tested[p] {
+			v = append(v, fmt.Sprintf("path %d tested twice", p))
+		}
+		tested[p] = true
+	}
+	inBatch := make(map[int]int)
+	for bi, batch := range pl.Batches {
+		if pl.Cfg.MaxBatch > 0 && len(batch) > pl.Cfg.MaxBatch {
+			v = append(v, fmt.Sprintf("batch %d has %d paths, cap is %d", bi, len(batch), pl.Cfg.MaxBatch))
+		}
+		sources := make(map[int]int, len(batch))
+		sinks := make(map[int]int, len(batch))
+		for _, p := range batch {
+			if p < 0 || p >= c.NumPaths() {
+				v = append(v, fmt.Sprintf("batch %d contains out-of-range path %d", bi, p))
+				continue
+			}
+			if !tested[p] {
+				v = append(v, fmt.Sprintf("batch %d contains untested path %d", bi, p))
+			}
+			if prev, dup := inBatch[p]; dup {
+				v = append(v, fmt.Sprintf("path %d in batches %d and %d", p, prev, bi))
+			}
+			inBatch[p] = bi
+			pt := &c.Paths[p]
+			if q, clash := sources[pt.From]; clash {
+				v = append(v, fmt.Sprintf("batch %d: paths %d and %d share source FF %d", bi, q, p, pt.From))
+			}
+			if q, clash := sinks[pt.To]; clash {
+				v = append(v, fmt.Sprintf("batch %d: paths %d and %d share sink FF %d", bi, q, p, pt.To))
+			}
+			sources[pt.From], sinks[pt.To] = p, p
+			for _, q := range batch {
+				if q < p && excl[[2]int{p, q}] {
+					v = append(v, fmt.Sprintf("batch %d: exclusive pair (%d,%d) co-scheduled", bi, q, p))
+				}
+			}
+		}
+	}
+	return v
+}
+
+// OutcomeViolations checks the per-chip guarantees of the online flow:
+//
+//   - configured buffer values stay inside the circuit's skew.Buffers
+//     ranges, on the discrete lattice, and are zero on unbuffered
+//     flip-flops (Eqs. 15–18's feasible set);
+//   - every tested path's final delay window is narrower than ε
+//     (Procedure 2's termination guarantee);
+//   - all windows are well-formed (Lo ≤ Hi, finite).
+func OutcomeViolations(pl *core.Plan, out *core.ChipOutcome) []string {
+	var v []string
+	c := pl.Circuit
+	if len(out.X) != c.NumFF {
+		v = append(v, fmt.Sprintf("configuration has %d values for %d FFs", len(out.X), c.NumFF))
+		return v
+	}
+	for i, x := range out.X {
+		if !c.Buf.Buffered[i] {
+			if x != 0 {
+				v = append(v, fmt.Sprintf("unbuffered FF %d tuned to %g", i, x))
+			}
+			continue
+		}
+		if !out.Configured {
+			continue
+		}
+		if x < c.Buf.Lo[i]-latticeSlack || x > c.Buf.Hi[i]+latticeSlack {
+			v = append(v, fmt.Sprintf("FF %d value %g outside range [%g,%g]", i, x, c.Buf.Lo[i], c.Buf.Hi[i]))
+		}
+		if q := c.Buf.Quantize(i, x); math.Abs(q-x) > latticeSlack {
+			v = append(v, fmt.Sprintf("FF %d value %g off lattice (nearest %g)", i, x, q))
+		}
+	}
+	if out.Bounds != nil {
+		for _, p := range pl.Tested {
+			if w := out.Bounds.Width(p); !(w < pl.Cfg.Eps) {
+				v = append(v, fmt.Sprintf("tested path %d window %g not below eps %g", p, w, pl.Cfg.Eps))
+			}
+		}
+		for p := range out.Bounds.Lo {
+			lo, hi := out.Bounds.Lo[p], out.Bounds.Hi[p]
+			if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || lo > hi {
+				v = append(v, fmt.Sprintf("path %d window [%g,%g] malformed", p, lo, hi))
+			}
+		}
+	}
+	if out.Iterations < 0 || out.ScanBits < 0 {
+		v = append(v, fmt.Sprintf("negative tester accounting: iters=%d scanBits=%d", out.Iterations, out.ScanBits))
+	}
+	return v
+}

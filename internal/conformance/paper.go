@@ -1,0 +1,88 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"effitest/internal/exp"
+)
+
+// BandCheck compares one measured metric against the paper's published
+// value within an absolute band. Bands are deliberately wide: the
+// conformance scenarios run the experiment harness in reduced-sample mode
+// (tens of chips instead of the paper's 10 000), so Monte-Carlo
+// quantization dominates; the bands catch a broken pipeline, not a 0.1 %
+// drift (the golden corpus does that).
+type BandCheck struct {
+	Metric   string
+	Measured float64
+	Paper    float64
+	Band     float64
+}
+
+// OK reports whether the measured value falls inside paper±band.
+func (b BandCheck) OK() bool {
+	return !math.IsNaN(b.Measured) && math.Abs(b.Measured-b.Paper) <= b.Band
+}
+
+// String renders one pass/fail row.
+func (b BandCheck) String() string {
+	status := "ok"
+	if !b.OK() {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%-22s %10.2f %10.2f   ±%-7.2f %s", b.Metric, b.Measured, b.Paper, b.Band, status)
+}
+
+// PaperBands returns the published-value checks applicable to a snapshot
+// (experiment scenarios only; pipeline snapshots have no paper analogue and
+// yield an empty slice).
+func PaperBands(s *Snapshot) []BandCheck {
+	circ := s.Scenario.Circuit
+	switch {
+	case s.Table1 != nil:
+		p, ok := exp.PaperTable1[circ]
+		if !ok {
+			return nil
+		}
+		return []BandCheck{
+			// Iteration-reduction ratios are the paper's headline numbers and
+			// stable even at 4 chips; the per-path costs are bounded by the
+			// binary-search depth.
+			{Metric: "table1.ra(%)", Measured: s.Table1.RA, Paper: p.RA, Band: 4},
+			{Metric: "table1.rv(%)", Measured: s.Table1.RV, Paper: p.RV, Band: 20},
+			{Metric: "table1.tpv(iters)", Measured: s.Table1.TPV, Paper: p.TPV, Band: 1.5},
+		}
+	case s.Table2 != nil:
+		p, ok := exp.PaperTable2[circ]
+		if !ok {
+			return nil
+		}
+		// 48-chip yields quantize at ≈2.1 %; allow several sigma of MC noise.
+		return []BandCheck{
+			{Metric: "table2.t1yt(%)", Measured: s.Table2.T1YT, Paper: p.T1YT, Band: 15},
+			{Metric: "table2.t2yt(%)", Measured: s.Table2.T2YT, Paper: p.T2YT, Band: 12},
+			{Metric: "table2.t1base(%)", Measured: s.Table2.T1NoBuffer, Paper: exp.PaperBaseYieldT1, Band: 15},
+			{Metric: "table2.t2base(%)", Measured: s.Table2.T2NoBuffer, Paper: exp.PaperBaseYieldT2, Band: 12},
+		}
+	case s.Fig8 != nil:
+		// Figure 8 publishes per-circuit bars; the robust cross-circuit
+		// facts are the binary-search depth and the strict ordering
+		// path-wise > multiplex ≥ aligned.
+		checks := []BandCheck{
+			{Metric: "fig8.pathwise(iters)", Measured: s.Fig8.Pathwise, Paper: 9, Band: 2},
+		}
+		// Ordering violations are emitted as checks that always fail (a
+		// negative band can never contain the difference, even when the two
+		// sides are equal).
+		if s.Fig8.Multiplex >= s.Fig8.Pathwise {
+			checks = append(checks, BandCheck{Metric: "fig8.mux<pathwise", Measured: s.Fig8.Multiplex, Paper: s.Fig8.Pathwise, Band: -1})
+		}
+		if s.Fig8.Proposed > s.Fig8.Multiplex {
+			checks = append(checks, BandCheck{Metric: "fig8.aligned<=mux", Measured: s.Fig8.Proposed, Paper: s.Fig8.Multiplex, Band: -1})
+		}
+		return checks
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,62 @@
+package conformance
+
+import "testing"
+
+func fig8Snapshot(pathwise, multiplex, proposed float64) *Snapshot {
+	return &Snapshot{
+		Format:   SnapshotFormat,
+		Scenario: Meta{Name: "fig8_s9234_seed1", Kind: "fig8", Circuit: "s9234"},
+		Fig8:     &Fig8Snap{Pathwise: pathwise, Multiplex: multiplex, Proposed: proposed},
+	}
+}
+
+func countFailed(checks []BandCheck) int {
+	n := 0
+	for _, c := range checks {
+		if !c.OK() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPaperBandsFig8Ordering(t *testing.T) {
+	// Healthy ordering: path-wise > multiplex ≥ aligned, path-wise ≈ 9.
+	if n := countFailed(PaperBands(fig8Snapshot(9, 5, 3))); n != 0 {
+		t.Fatalf("healthy fig8 snapshot failed %d band checks", n)
+	}
+	// Multiplexing degenerating to exactly per-path cost must FAIL even
+	// though the two sides are equal (the strict-ordering invariant).
+	if n := countFailed(PaperBands(fig8Snapshot(9, 9, 3))); n == 0 {
+		t.Fatal("mux == pathwise passed the strict-ordering band")
+	}
+	// Alignment costing more than plain multiplexing must fail too.
+	if n := countFailed(PaperBands(fig8Snapshot(9, 5, 6))); n == 0 {
+		t.Fatal("aligned > mux passed the ordering band")
+	}
+	// Pathwise drifting off the binary-search depth must fail.
+	if n := countFailed(PaperBands(fig8Snapshot(20, 5, 3))); n == 0 {
+		t.Fatal("pathwise=20 passed the ±2 band around 9")
+	}
+}
+
+func TestPaperBandsTable12(t *testing.T) {
+	t1 := &Snapshot{
+		Scenario: Meta{Kind: "table1", Circuit: "s9234"},
+		Table1:   &Table1Snap{RA: 97.8, RV: 55.6, TPV: 9},
+	}
+	if n := countFailed(PaperBands(t1)); n != 0 {
+		t.Fatalf("reduced-sample table1 row failed %d checks", n)
+	}
+	t1.Table1.RA = 50 // reduction collapsed: far outside any band
+	if n := countFailed(PaperBands(t1)); n == 0 {
+		t.Fatal("ra=50 passed the paper band")
+	}
+	if got := PaperBands(&Snapshot{Scenario: Meta{Kind: "table1", Circuit: "unknown"}}); got != nil {
+		t.Fatal("unknown circuit should have no bands")
+	}
+	// Pipeline snapshots have no paper analogue.
+	if got := PaperBands(sampleSnapshot()); got != nil {
+		t.Fatal("pipeline snapshot should have no bands")
+	}
+}

@@ -1,0 +1,207 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"effitest"
+	"effitest/internal/circuit"
+	"effitest/internal/core"
+	"effitest/internal/exp"
+	"effitest/internal/tester"
+)
+
+// PipelineResult is the full output of a pipeline scenario: the snapshot
+// plus the live objects, so invariant checks and metamorphic tests can
+// inspect the plan and raw outcomes without re-running anything.
+type PipelineResult struct {
+	Circuit *circuit.Circuit
+	Engine  *effitest.Engine
+	Chips   []*tester.Chip
+	Outs    []*core.ChipOutcome
+	Snap    *Snapshot
+}
+
+// Config builds the scenario's flow configuration over the paper defaults.
+func (s Scenario) Config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.Eps = s.Eps
+	cfg.AlignMode = s.Align
+	return cfg
+}
+
+func (s Scenario) meta() Meta {
+	return Meta{
+		Name:     s.Name(),
+		Kind:     string(s.Kind),
+		Circuit:  s.circuitName(),
+		Align:    s.Align.String(),
+		Eps:      s.Eps,
+		Seed:     s.Seed,
+		GenSeed:  s.GenSeed,
+		ChipSeed: s.ChipSeed,
+		Chips:    s.Chips,
+	}
+}
+
+// Run executes the scenario and returns its canonical snapshot.
+func Run(ctx context.Context, sc Scenario) (*Snapshot, error) {
+	if sc.Kind == KindPipeline {
+		res, err := RunPipeline(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		return res.Snap, nil
+	}
+	return runExp(ctx, sc)
+}
+
+// RunPipeline executes a pipeline scenario end to end: generate the
+// circuit, prepare the engine (offline flow + period calibration), run the
+// chip fleet through Engine.RunChips, and aggregate.
+func RunPipeline(ctx context.Context, sc Scenario) (*PipelineResult, error) {
+	if sc.Kind != KindPipeline {
+		return nil, fmt.Errorf("conformance: scenario %s is not a pipeline scenario", sc.Name())
+	}
+	p, err := sc.Profile()
+	if err != nil {
+		return nil, err
+	}
+	c, err := circuit.Generate(p, sc.GenSeed)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %s: generate: %w", sc.Name(), err)
+	}
+	eng, err := effitest.NewCtx(ctx, c,
+		effitest.WithConfig(sc.Config()),
+		effitest.WithPeriodQuantile(sc.Quantile, sc.CalibChips),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %s: engine: %w", sc.Name(), err)
+	}
+	chips, err := eng.SampleChips(ctx, sc.ChipSeed, sc.Chips)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*core.ChipOutcome, 0, len(chips))
+	for r := range eng.RunChips(ctx, chips) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("conformance: %s: chip %d: %w", sc.Name(), r.Index, r.Err)
+		}
+		outs = append(outs, r.Outcome)
+	}
+
+	plan := eng.Plan()
+	ps := &PipelineSnap{
+		NumPaths:   c.NumPaths(),
+		NumTested:  plan.NumTested(),
+		NumFilled:  len(plan.Filled),
+		NumBatches: len(plan.Batches),
+		Period:     eng.Period(),
+	}
+	for _, b := range plan.Batches {
+		ps.MaxBatch = max(ps.MaxBatch, len(b))
+	}
+	var passed, configured, sumIters int
+	var sumScan int64
+	for _, out := range outs {
+		cs := ChipSnap{
+			Iterations: out.Iterations,
+			ScanBits:   out.ScanBits,
+			Configured: out.Configured,
+			Passed:     out.Passed,
+			Xi:         out.Xi,
+		}
+		for _, x := range out.X {
+			cs.XSum += x
+			cs.XAbsSum += math.Abs(x)
+		}
+		for i := range out.Bounds.Lo {
+			cs.BoundsLo += out.Bounds.Lo[i]
+			cs.BoundsHi += out.Bounds.Hi[i]
+		}
+		ps.Chips = append(ps.Chips, cs)
+		sumIters += out.Iterations
+		sumScan += out.ScanBits
+		if out.Configured {
+			configured++
+		}
+		if out.Passed {
+			passed++
+		}
+	}
+	n := float64(len(outs))
+	if n > 0 {
+		ps.Yield = float64(passed) / n
+		ps.AvgIterations = float64(sumIters) / n
+		ps.AvgScanBits = float64(sumScan) / n
+		ps.ConfiguredFrac = float64(configured) / n
+	}
+	return &PipelineResult{
+		Circuit: c,
+		Engine:  eng,
+		Chips:   chips,
+		Outs:    outs,
+		Snap:    &Snapshot{Format: SnapshotFormat, Scenario: sc.meta(), Pipeline: ps},
+	}, nil
+}
+
+// ReducedExpConfig is the experiment-harness configuration used by the
+// conformance scenarios: the same code paths as the paper evaluation, with
+// chip counts shrunk from the paper's 10 000 to seconds-scale.
+func ReducedExpConfig(sc Scenario) exp.Config {
+	cfg := exp.DefaultConfig()
+	cfg.Seed = sc.Seed
+	cfg.CostChips = 4
+	cfg.YieldChips = 48
+	cfg.Fig8Chips = 1
+	cfg.QuantileChips = 200
+	cfg.Core = sc.Config()
+	return cfg
+}
+
+func runExp(ctx context.Context, sc Scenario) (*Snapshot, error) {
+	p, err := sc.Profile()
+	if err != nil {
+		return nil, err
+	}
+	cfg := ReducedExpConfig(sc)
+	snap := &Snapshot{Format: SnapshotFormat, Scenario: sc.meta()}
+	switch sc.Kind {
+	case KindTable1:
+		row, err := exp.Table1(ctx, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		snap.Table1 = &Table1Snap{
+			NPT: row.NPT, TA: row.TA, TV: row.TV, TPA: row.TPA, TPV: row.TPV,
+			RA: row.RA, RV: row.RV, ConfiguredFraction: row.ConfiguredFraction,
+		}
+	case KindTable2:
+		row, err := exp.Table2(ctx, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		snap.Table2 = &Table2Snap{
+			T1: row.T1, T2: row.T2,
+			T1YI: row.T1YI, T1YT: row.T1YT, T2YI: row.T2YI, T2YT: row.T2YT,
+			T1NoBuffer: row.T1NoBuffer, T2NoBuffer: row.T2NoBuffer,
+		}
+	case KindFig7:
+		row, err := exp.Fig7(ctx, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		snap.Fig7 = &Fig7Snap{NoBuffer: row.NoBuffer, Proposed: row.Proposed, Ideal: row.Ideal}
+	case KindFig8:
+		row, err := exp.Fig8(ctx, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		snap.Fig8 = &Fig8Snap{Pathwise: row.Pathwise, Multiplex: row.Multiplex, Proposed: row.Proposed}
+	default:
+		return nil, fmt.Errorf("conformance: unknown scenario kind %q", sc.Kind)
+	}
+	return snap, nil
+}

@@ -1,0 +1,350 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SnapshotFormat versions the snapshot layout. Bump it when fields are
+// added, removed or change meaning; stale goldens then fail with a single
+// format diff instead of a wall of field noise.
+const SnapshotFormat = 1
+
+// Snapshot is the canonical, serializable result of one scenario run. All
+// wall-clock durations are deliberately excluded: everything recorded here
+// is deterministic in the scenario parameters.
+type Snapshot struct {
+	Format   int           `json:"format"`
+	Scenario Meta          `json:"scenario"`
+	Pipeline *PipelineSnap `json:"pipeline,omitempty"`
+	Table1   *Table1Snap   `json:"table1,omitempty"`
+	Table2   *Table2Snap   `json:"table2,omitempty"`
+	Fig7     *Fig7Snap     `json:"fig7,omitempty"`
+	Fig8     *Fig8Snap     `json:"fig8,omitempty"`
+}
+
+// Meta records the scenario axes, so a golden file is self-describing.
+type Meta struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	Circuit  string  `json:"circuit"`
+	Align    string  `json:"align"`
+	Eps      float64 `json:"eps"`
+	Seed     int64   `json:"seed"`
+	GenSeed  int64   `json:"genSeed"`
+	ChipSeed int64   `json:"chipSeed,omitempty"`
+	Chips    int     `json:"chips,omitempty"`
+}
+
+// PipelineSnap captures the offline plan shape, the calibrated period, the
+// aggregate fleet statistics and a per-chip digest.
+type PipelineSnap struct {
+	NumPaths   int `json:"numPaths"`
+	NumTested  int `json:"numTested"`
+	NumFilled  int `json:"numFilled"`
+	NumBatches int `json:"numBatches"`
+	MaxBatch   int `json:"maxBatch"`
+
+	Period float64 `json:"period"`
+
+	Yield          float64 `json:"yield"`
+	AvgIterations  float64 `json:"avgIterations"`
+	AvgScanBits    float64 `json:"avgScanBits"`
+	ConfiguredFrac float64 `json:"configuredFrac"`
+
+	Chips []ChipSnap `json:"chips"`
+}
+
+// ChipSnap digests one chip outcome: exact tester accounting plus float
+// checksums of the configured buffer values and final delay windows.
+type ChipSnap struct {
+	Iterations int     `json:"iterations"`
+	ScanBits   int64   `json:"scanBits"`
+	Configured bool    `json:"configured"`
+	Passed     bool    `json:"passed"`
+	Xi         float64 `json:"xi"`
+	XSum       float64 `json:"xSum"`
+	XAbsSum    float64 `json:"xAbsSum"`
+	BoundsLo   float64 `json:"boundsLoSum"`
+	BoundsHi   float64 `json:"boundsHiSum"`
+}
+
+// Table1Snap mirrors the deterministic columns of exp.Table1Row (the
+// runtime columns Tp/Tt/Ts are wall-clock and excluded).
+type Table1Snap struct {
+	NPT                int     `json:"npt"`
+	TA                 float64 `json:"ta"`
+	TV                 float64 `json:"tv"`
+	TPA                float64 `json:"tpa"`
+	TPV                float64 `json:"tpv"`
+	RA                 float64 `json:"ra"`
+	RV                 float64 `json:"rv"`
+	ConfiguredFraction float64 `json:"configuredFraction"`
+}
+
+// Table2Snap mirrors exp.Table2Row.
+type Table2Snap struct {
+	T1         float64 `json:"t1"`
+	T2         float64 `json:"t2"`
+	T1YI       float64 `json:"t1yi"`
+	T1YT       float64 `json:"t1yt"`
+	T2YI       float64 `json:"t2yi"`
+	T2YT       float64 `json:"t2yt"`
+	T1NoBuffer float64 `json:"t1NoBuffer"`
+	T2NoBuffer float64 `json:"t2NoBuffer"`
+}
+
+// Fig7Snap mirrors exp.Fig7Row.
+type Fig7Snap struct {
+	NoBuffer float64 `json:"noBuffer"`
+	Proposed float64 `json:"proposed"`
+	Ideal    float64 `json:"ideal"`
+}
+
+// Fig8Snap mirrors exp.Fig8Row.
+type Fig8Snap struct {
+	Pathwise  float64 `json:"pathwise"`
+	Multiplex float64 `json:"multiplex"`
+	Proposed  float64 `json:"proposed"`
+}
+
+// GoldenPath returns the golden file for a scenario under dir.
+func GoldenPath(dir string, sc Scenario) string {
+	return filepath.Join(dir, sc.Name()+".json")
+}
+
+// WriteFile serializes the snapshot canonically (indented JSON, fixed field
+// order, shortest float representation) so regenerated goldens diff cleanly
+// in version control.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadSnapshot reads a golden file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Tolerance accepts got≈want when |got-want| ≤ Abs, or when the relative
+// error |got-want|/|want| ≤ Rel (want ≠ 0). The zero Tolerance is exact.
+type Tolerance struct {
+	Abs, Rel float64
+}
+
+func (t Tolerance) ok(got, want float64) bool {
+	if got == want {
+		return true
+	}
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return false
+	}
+	d := math.Abs(got - want)
+	if d <= t.Abs {
+		return true
+	}
+	if w := math.Abs(want); w > 0 && d/w <= t.Rel {
+		return true
+	}
+	return false
+}
+
+// Tolerance classes. The pipeline is bit-deterministic in its inputs, so
+// these bands exist to absorb benign floating-point reassociation from
+// refactors (e.g. vectorizing a reduction), not run-to-run noise:
+//
+//   - TolExact: integer counters (tester iterations, scan bits, batch
+//     shapes) — any change is a behavioural change;
+//   - TolFloat: single float quantities (period, ξ, yields as ratios of
+//     counts);
+//   - TolSum: checksums reduced over many terms, where reassociation error
+//     accumulates.
+var (
+	TolExact = Tolerance{}
+	TolFloat = Tolerance{Abs: 1e-9, Rel: 1e-9}
+	TolSum   = Tolerance{Abs: 1e-7, Rel: 1e-7}
+)
+
+// FieldDiff is one field out of tolerance between a snapshot and its
+// golden.
+type FieldDiff struct {
+	Field     string
+	Got, Want string
+	Delta     string
+}
+
+type differ struct {
+	diffs []FieldDiff
+}
+
+func (d *differ) add(field, got, want, delta string) {
+	d.diffs = append(d.diffs, FieldDiff{Field: field, Got: got, Want: want, Delta: delta})
+}
+
+func (d *differ) ints(field string, got, want int64) {
+	if got != want {
+		d.add(field, fmt.Sprintf("%d", got), fmt.Sprintf("%d", want), fmt.Sprintf("%+d", got-want))
+	}
+}
+
+func (d *differ) bools(field string, got, want bool) {
+	if got != want {
+		d.add(field, fmt.Sprintf("%v", got), fmt.Sprintf("%v", want), "")
+	}
+}
+
+func (d *differ) strs(field, got, want string) {
+	if got != want {
+		d.add(field, got, want, "")
+	}
+}
+
+func (d *differ) floats(field string, got, want float64, tol Tolerance) {
+	if !tol.ok(got, want) {
+		d.add(field, trimFloat(got), trimFloat(want),
+			fmt.Sprintf("%+g (tol abs=%g rel=%g)", got-want, tol.Abs, tol.Rel))
+	}
+}
+
+// Diff compares a freshly computed snapshot against its golden and returns
+// every field outside tolerance, in snapshot order. An empty result means
+// the scenario conforms.
+func Diff(got, want *Snapshot) []FieldDiff {
+	var d differ
+	d.ints("format", int64(got.Format), int64(want.Format))
+	d.strs("scenario.name", got.Scenario.Name, want.Scenario.Name)
+	d.strs("scenario.kind", got.Scenario.Kind, want.Scenario.Kind)
+	d.strs("scenario.circuit", got.Scenario.Circuit, want.Scenario.Circuit)
+	d.strs("scenario.align", got.Scenario.Align, want.Scenario.Align)
+	d.floats("scenario.eps", got.Scenario.Eps, want.Scenario.Eps, TolExact)
+	d.ints("scenario.seed", got.Scenario.Seed, want.Scenario.Seed)
+	if len(d.diffs) > 0 {
+		// Mismatched identity or format: field-level comparison would only
+		// add noise.
+		return d.diffs
+	}
+	diffSection(&d, "pipeline", got.Pipeline, want.Pipeline, diffPipeline)
+	diffSection(&d, "table1", got.Table1, want.Table1, diffTable1)
+	diffSection(&d, "table2", got.Table2, want.Table2, diffTable2)
+	diffSection(&d, "fig7", got.Fig7, want.Fig7, diffFig7)
+	diffSection(&d, "fig8", got.Fig8, want.Fig8, diffFig8)
+	return d.diffs
+}
+
+func diffSection[T any](d *differ, name string, got, want *T, cmp func(*differ, *T, *T)) {
+	switch {
+	case got == nil && want == nil:
+	case got == nil:
+		d.add(name, "absent", "present", "")
+	case want == nil:
+		d.add(name, "present", "absent", "")
+	default:
+		cmp(d, got, want)
+	}
+}
+
+func diffPipeline(d *differ, got, want *PipelineSnap) {
+	d.ints("pipeline.numPaths", int64(got.NumPaths), int64(want.NumPaths))
+	d.ints("pipeline.numTested", int64(got.NumTested), int64(want.NumTested))
+	d.ints("pipeline.numFilled", int64(got.NumFilled), int64(want.NumFilled))
+	d.ints("pipeline.numBatches", int64(got.NumBatches), int64(want.NumBatches))
+	d.ints("pipeline.maxBatch", int64(got.MaxBatch), int64(want.MaxBatch))
+	d.floats("pipeline.period", got.Period, want.Period, TolFloat)
+	d.floats("pipeline.yield", got.Yield, want.Yield, TolFloat)
+	d.floats("pipeline.avgIterations", got.AvgIterations, want.AvgIterations, TolFloat)
+	d.floats("pipeline.avgScanBits", got.AvgScanBits, want.AvgScanBits, TolFloat)
+	d.floats("pipeline.configuredFrac", got.ConfiguredFrac, want.ConfiguredFrac, TolFloat)
+	if len(got.Chips) != len(want.Chips) {
+		d.ints("pipeline.chips.len", int64(len(got.Chips)), int64(len(want.Chips)))
+		return
+	}
+	for i := range got.Chips {
+		g, w := &got.Chips[i], &want.Chips[i]
+		pre := fmt.Sprintf("pipeline.chips[%d].", i)
+		d.ints(pre+"iterations", int64(g.Iterations), int64(w.Iterations))
+		d.ints(pre+"scanBits", g.ScanBits, w.ScanBits)
+		d.bools(pre+"configured", g.Configured, w.Configured)
+		d.bools(pre+"passed", g.Passed, w.Passed)
+		d.floats(pre+"xi", g.Xi, w.Xi, TolFloat)
+		d.floats(pre+"xSum", g.XSum, w.XSum, TolSum)
+		d.floats(pre+"xAbsSum", g.XAbsSum, w.XAbsSum, TolSum)
+		d.floats(pre+"boundsLoSum", g.BoundsLo, w.BoundsLo, TolSum)
+		d.floats(pre+"boundsHiSum", g.BoundsHi, w.BoundsHi, TolSum)
+	}
+}
+
+func diffTable1(d *differ, got, want *Table1Snap) {
+	d.ints("table1.npt", int64(got.NPT), int64(want.NPT))
+	d.floats("table1.ta", got.TA, want.TA, TolFloat)
+	d.floats("table1.tv", got.TV, want.TV, TolFloat)
+	d.floats("table1.tpa", got.TPA, want.TPA, TolFloat)
+	d.floats("table1.tpv", got.TPV, want.TPV, TolFloat)
+	d.floats("table1.ra", got.RA, want.RA, TolFloat)
+	d.floats("table1.rv", got.RV, want.RV, TolFloat)
+	d.floats("table1.configuredFraction", got.ConfiguredFraction, want.ConfiguredFraction, TolFloat)
+}
+
+func diffTable2(d *differ, got, want *Table2Snap) {
+	d.floats("table2.t1", got.T1, want.T1, TolFloat)
+	d.floats("table2.t2", got.T2, want.T2, TolFloat)
+	d.floats("table2.t1yi", got.T1YI, want.T1YI, TolFloat)
+	d.floats("table2.t1yt", got.T1YT, want.T1YT, TolFloat)
+	d.floats("table2.t2yi", got.T2YI, want.T2YI, TolFloat)
+	d.floats("table2.t2yt", got.T2YT, want.T2YT, TolFloat)
+	d.floats("table2.t1NoBuffer", got.T1NoBuffer, want.T1NoBuffer, TolFloat)
+	d.floats("table2.t2NoBuffer", got.T2NoBuffer, want.T2NoBuffer, TolFloat)
+}
+
+func diffFig7(d *differ, got, want *Fig7Snap) {
+	d.floats("fig7.noBuffer", got.NoBuffer, want.NoBuffer, TolFloat)
+	d.floats("fig7.proposed", got.Proposed, want.Proposed, TolFloat)
+	d.floats("fig7.ideal", got.Ideal, want.Ideal, TolFloat)
+}
+
+func diffFig8(d *differ, got, want *Fig8Snap) {
+	d.floats("fig8.pathwise", got.Pathwise, want.Pathwise, TolFloat)
+	d.floats("fig8.multiplex", got.Multiplex, want.Multiplex, TolFloat)
+	d.floats("fig8.proposed", got.Proposed, want.Proposed, TolFloat)
+}
+
+// FormatDiffs renders field diffs as an aligned, readable block — the
+// failure output of both `go test` and cmd/effcheck.
+func FormatDiffs(diffs []FieldDiff) string {
+	if len(diffs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	wf, wg := len("FIELD"), len("GOT")
+	for _, d := range diffs {
+		wf = max(wf, len(d.Field))
+		wg = max(wg, len(d.Got))
+	}
+	fmt.Fprintf(&b, "  %-*s  %-*s  %s\n", wf, "FIELD", wg, "GOT", "WANT")
+	for _, d := range diffs {
+		fmt.Fprintf(&b, "  %-*s  %-*s  %s", wf, d.Field, wg, d.Got, d.Want)
+		if d.Delta != "" {
+			fmt.Fprintf(&b, "   Δ %s", d.Delta)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -14,6 +14,9 @@ import (
 // intermediate buffer values: the measured windows must all bracket the same
 // truth with the same ε.
 func TestAlignModesProduceSameMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-ILP ablation (minutes under -race) skipped in -short mode")
+	}
 	c := tinyCircuit(t, 9)
 	ch := tester.SampleChip(c, 17, 0)
 	modes := []AlignMode{AlignHeuristic, AlignFastMILP, AlignPaperILP}

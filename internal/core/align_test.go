@@ -67,6 +67,9 @@ func batchItems(c *circuit.Circuit, paths []int, lambda LambdaFunc) []alignItem 
 }
 
 func TestAlignModesAgreeOnObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP cross-check skipped in -short mode")
+	}
 	// The fast MILP and the paper's big-M MILP must find equal objectives
 	// (they are provably the same model); the heuristic must come close.
 	c := tinyCircuit(t, 2)

@@ -6,7 +6,11 @@
 // the paper's Figure 4 with all of Table 1's cost metrics.
 package core
 
-import "time"
+import (
+	"fmt"
+	"math"
+	"time"
+)
 
 // AlignMode selects how the per-iteration alignment problem (Eqs. 7–14) is
 // solved.
@@ -138,6 +142,38 @@ func DefaultConfig() Config {
 		TesterResolution: 1e-4, // 0.1 ps clock generator granularity
 		MaxIterPerPath:   64,
 	}
+}
+
+// Validate rejects configurations the flow cannot run with. Prepare (and
+// therefore the engine constructor) calls it, so an invalid option surfaces
+// as a construction error instead of a hang or a panic deep in the online
+// flow (e.g. Eps ≤ 0 would never let a batch terminate).
+func (cfg Config) Validate() error {
+	check := func(ok bool, field string, v any, want string) error {
+		if ok {
+			return nil
+		}
+		return fmt.Errorf("core: invalid config: %s = %v, want %s", field, v, want)
+	}
+	finitePos := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0 }
+	for _, err := range []error{
+		check(finitePos(cfg.Eps), "Eps", cfg.Eps, "a positive delay threshold in ns"),
+		check(cfg.Workers >= 0, "Workers", cfg.Workers, "≥ 0 (0 = one per CPU)"),
+		check(cfg.MaxBatch >= 0, "MaxBatch", cfg.MaxBatch, "≥ 0 (0 = unlimited)"),
+		check(cfg.MaxGroupSize >= 0, "MaxGroupSize", cfg.MaxGroupSize, "≥ 0 (0 = uncapped)"),
+		check(cfg.MaxIterPerPath >= 0, "MaxIterPerPath", cfg.MaxIterPerPath, "≥ 0 (0 = default cap)"),
+		check(cfg.HoldSamples > 0, "HoldSamples", cfg.HoldSamples, "a positive Monte-Carlo sample count"),
+		check(!math.IsNaN(cfg.HoldYield) && cfg.HoldYield > 0 && cfg.HoldYield <= 1,
+			"HoldYield", cfg.HoldYield, "a target in (0, 1]"),
+		check(finitePos(cfg.TesterResolution), "TesterResolution", cfg.TesterResolution, "a positive period granularity in ns"),
+		check(finitePos(cfg.WeightK0) && finitePos(cfg.WeightKd), "WeightK0/WeightKd",
+			[2]float64{cfg.WeightK0, cfg.WeightKd}, "positive §3.3 priority weights"),
+	} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Durations collects the paper's runtime columns.

@@ -33,6 +33,9 @@ type Plan struct {
 // Prepare runs the offline flow of Figure 4: path selection for prediction,
 // test multiplexing (with slot filling), and hold-bound computation.
 func Prepare(c *circuit.Circuit, cfg Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	groups, tested, err := SelectPaths(c, cfg)
 	if err != nil {

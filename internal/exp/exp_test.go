@@ -19,6 +19,9 @@ func fastCfg() Config {
 }
 
 func TestTable1ShapeTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo-heavy experiment test skipped in -short mode")
+	}
 	p, _ := circuit.ProfileByName("s9234")
 	row, err := Table1(context.Background(), p, fastCfg())
 	if err != nil {
@@ -48,6 +51,9 @@ func TestTable1ShapeTargets(t *testing.T) {
 }
 
 func TestTable2ShapeTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo-heavy experiment test skipped in -short mode")
+	}
 	p, _ := circuit.ProfileByName("s9234")
 	cfg := fastCfg()
 	cfg.YieldChips = 120
@@ -79,6 +85,9 @@ func TestTable2ShapeTargets(t *testing.T) {
 }
 
 func TestFig7ShapeTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo-heavy experiment test skipped in -short mode")
+	}
 	p, _ := circuit.ProfileByName("s9234")
 	cfg := fastCfg()
 	cfg.YieldChips = 80
@@ -96,6 +105,9 @@ func TestFig7ShapeTargets(t *testing.T) {
 }
 
 func TestFig8Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo-heavy experiment test skipped in -short mode")
+	}
 	p, _ := circuit.ProfileByName("s9234")
 	row, err := Fig8(context.Background(), p, fastCfg())
 	if err != nil {
