@@ -1,0 +1,261 @@
+// Backend-substitution coverage: the measurement transport behind the
+// engine is pluggable, and substituting it must be observationally neutral
+// (record-then-replay reproduces the golden pipeline bit for bit) or
+// loudly typed (injected faults surface through ChipResult.Err without
+// wedging the worker pool).
+package effitest_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"effitest"
+	"effitest/internal/conformance"
+)
+
+// pipelineScenario pulls one named pipeline scenario out of the checked-in
+// conformance matrix.
+func pipelineScenario(t *testing.T, name string) conformance.Scenario {
+	t.Helper()
+	for _, sc := range conformance.DefaultMatrix() {
+		if sc.Name() == name {
+			return sc
+		}
+	}
+	t.Fatalf("scenario %s not in DefaultMatrix", name)
+	panic("unreachable")
+}
+
+func snapshotJSON(t *testing.T, res *conformance.PipelineResult) string {
+	t.Helper()
+	b, err := json.Marshal(res.Snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestReplayBackendBitIdenticalToSimulated runs one golden pipeline
+// scenario three ways — plain simulated ATE, simulated ATE behind a
+// recorder, and a replay of that recording — and requires all three
+// canonical snapshots to be byte-identical.
+func TestReplayBackendBitIdenticalToSimulated(t *testing.T) {
+	sc := pipelineScenario(t, "pipeline_tiny64_heuristic_eps0.002_seed1")
+	ctx := context.Background()
+
+	plain, err := conformance.RunPipeline(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := effitest.NewRecorder(nil)
+	sc.Backend = rec
+	recorded, err := conformance.RunPipeline(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc.Backend = effitest.NewReplayer(rec.Trace())
+	replayed, err := conformance.RunPipeline(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := snapshotJSON(t, plain)
+	if got := snapshotJSON(t, recorded); got != want {
+		t.Fatalf("recording wrapper perturbed the pipeline:\nplain    %s\nrecorded %s", want, got)
+	}
+	if got := snapshotJSON(t, replayed); got != want {
+		t.Fatalf("replay diverged from simulated run:\nplain    %s\nreplayed %s", want, got)
+	}
+}
+
+// TestFaultBackendSurfacesTypedErrors injects an open fault and a step
+// fault into a 16-chip fleet and requires: the two faulted chips carry
+// typed errors in ChipResult.Err, every other chip completes with an
+// outcome identical to a clean run, and the engine remains usable
+// afterwards (the pool is not wedged).
+func TestFaultBackendSurfacesTypedErrors(t *testing.T) {
+	c, err := effitest.Generate(effitest.NewProfile("faultfleet", 24, 200, 3, 24), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const nChips = 16
+	opts := []effitest.Option{effitest.WithWorkers(4), effitest.WithPeriodQuantile(0.8413, 200)}
+
+	clean, err := effitest.New(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips, err := clean.SampleChips(ctx, 9, nChips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanOuts, err := clean.RunChipsAll(ctx, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fb := effitest.NewFaultBackend(nil).FailOpen(5).FailAtStep(3, 2)
+	faulty, err := effitest.New(c, append(opts, effitest.WithBackend(fb))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for r := range faulty.RunChips(ctx, chips) {
+		seen++
+		switch r.Index {
+		case 3, 5:
+			if !errors.Is(r.Err, effitest.ErrInjectedFault) {
+				t.Fatalf("chip %d: Err = %v, want ErrInjectedFault", r.Index, r.Err)
+			}
+			var fe *effitest.FaultError
+			if !errors.As(r.Err, &fe) || fe.Chip != r.Index {
+				t.Fatalf("chip %d: fault detail = %v", r.Index, r.Err)
+			}
+		default:
+			if r.Err != nil {
+				t.Fatalf("chip %d: unexpected error %v", r.Index, r.Err)
+			}
+			if !engineOutcomesEqual(r.Outcome, cleanOuts[r.Index]) {
+				t.Fatalf("chip %d: outcome perturbed by faults on other chips", r.Index)
+			}
+		}
+	}
+	if seen != nChips {
+		t.Fatalf("stream yielded %d results, want %d (pool wedged?)", seen, nChips)
+	}
+	if st := fb.Stats(); st.Faults != 2 {
+		t.Fatalf("injected faults = %d, want 2", st.Faults)
+	}
+
+	// The engine (and its worker pool machinery) must remain fully usable
+	// after the faulted fleet.
+	again, err := faulty.RunChip(ctx, chips[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engineOutcomesEqual(again, cleanOuts[0]) {
+		t.Fatal("post-fault run diverged")
+	}
+}
+
+// TestObserverSeesTypedEvents drives a small fleet with an observer and
+// cross-checks the event stream against the outcomes.
+func TestObserverSeesTypedEvents(t *testing.T) {
+	c, err := effitest.Generate(effitest.NewProfile("observed", 24, 200, 3, 24), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var prepares, chipDones, batchStarts, batchEnds, steps, solves int
+	var stepIters int
+	obs := effitest.ObserverFunc(func(e effitest.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch e.(type) {
+		case effitest.PrepareDoneEvent:
+			prepares++
+		case effitest.ChipDoneEvent:
+			chipDones++
+		case effitest.BatchStartEvent:
+			batchStarts++
+		case effitest.BatchEndEvent:
+			batchEnds++
+		case effitest.FrequencyStepEvent:
+			steps++
+			stepIters++
+		case effitest.AlignSolveEvent:
+			solves++
+		}
+	})
+	eng, err := effitest.New(c,
+		effitest.WithWorkers(2),
+		effitest.WithPeriodQuantile(0.8413, 200),
+		effitest.WithObserver(obs),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	chips, err := eng.SampleChips(ctx, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := eng.RunChipsAll(ctx, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIters := 0
+	for _, o := range outs {
+		wantIters += o.Iterations
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if prepares != 1 {
+		t.Fatalf("PrepareDone events = %d, want 1", prepares)
+	}
+	if chipDones != len(chips) {
+		t.Fatalf("ChipDone events = %d, want %d", chipDones, len(chips))
+	}
+	if batchStarts != batchEnds || batchStarts != len(chips)*len(eng.Plan().Batches) {
+		t.Fatalf("batch events: %d starts, %d ends, want %d each",
+			batchStarts, batchEnds, len(chips)*len(eng.Plan().Batches))
+	}
+	if stepIters != wantIters {
+		t.Fatalf("FrequencyStep events = %d, outcomes record %d iterations", stepIters, wantIters)
+	}
+	if solves == 0 {
+		t.Fatal("no AlignSolve events")
+	}
+}
+
+// TestReplayDivergenceSurfacesThroughEngine replays a trace against a
+// different flow configuration; the typed divergence error must come out
+// of ChipResult.Err.
+func TestReplayDivergenceSurfacesThroughEngine(t *testing.T) {
+	c, err := effitest.Generate(effitest.NewProfile("diverge", 24, 200, 3, 24), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rec := effitest.NewRecorder(nil)
+	eng, err := effitest.New(c, effitest.WithPeriodQuantile(0.8413, 200), effitest.WithBackend(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips, err := eng.SampleChips(ctx, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunChipsAll(ctx, chips); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-run the recorded chips under a tighter ε: the flow needs more (and
+	// different) frequency steps than were recorded, so the replay must
+	// fail with a typed trace error rather than fabricate measurements.
+	replay, err := effitest.New(c,
+		effitest.WithPeriodQuantile(0.8413, 200),
+		effitest.WithEpsilon(0.002/4),
+		effitest.WithBackend(effitest.NewReplayer(rec.Trace())),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = replay.RunChip(ctx, chips[0])
+	if err == nil {
+		t.Fatal("tighter-ε replay succeeded; expected a typed trace error")
+	}
+	if !errors.Is(err, effitest.ErrTraceDivergence) && !errors.Is(err, effitest.ErrTraceExhausted) {
+		t.Fatalf("divergent replay error = %v, want a typed trace error", err)
+	}
+	if !strings.Contains(err.Error(), "chip") {
+		t.Fatalf("divergence error lacks chip detail: %v", err)
+	}
+}

@@ -302,6 +302,43 @@ func BenchmarkAblationSlotFill(b *testing.B) {
 	}
 }
 
+// BenchmarkPrepareWarmCache measures constructing an engine when the plan
+// cache is already warm: artifact read + decode + fingerprint verification
+// + MVN recomputation, instead of the full offline flow. The ratio to
+// BenchmarkPrepare is what WithPlanCache buys every process after the
+// first.
+func BenchmarkPrepareWarmCache(b *testing.B) {
+	for _, name := range benchCircuits() {
+		b.Run(name, func(b *testing.B) {
+			p, _ := effitest.ProfileByName(name)
+			c, err := effitest.Generate(p, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dir := b.TempDir()
+			// Warm the cache (and pin the calibration cost outside the
+			// timed region by fixing the period).
+			warm, err := effitest.New(c, effitest.WithPlanCache(dir), effitest.WithPeriod(c.TNominal))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if warm.PlanCacheHit() {
+				b.Fatal("first construction unexpectedly hit the cache")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := effitest.New(c, effitest.WithPlanCache(dir), effitest.WithPeriod(c.TNominal))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !eng.PlanCacheHit() {
+					b.Fatal("cache miss on warm cache")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPrepare measures the offline flow (Procedure 1 + multiplexing +
 // hold bounds), the paper's Tp column.
 func BenchmarkPrepare(b *testing.B) {

@@ -24,6 +24,7 @@ func main() {
 		dot   = flag.String("dot", "", "write a Graphviz DOT view of the timing graph to this file")
 		stats = flag.Bool("stats", false, "print circuit statistics")
 		parse = flag.String("parse", "", "parse and validate a netlist file instead of generating")
+		fp    = flag.Bool("fingerprint", false, "print the circuit content fingerprint (the plan-cache/artifact key component)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,9 @@ func main() {
 		fatal(err)
 		fmt.Printf("%s: valid netlist (ns=%d ng=%d nb=%d np=%d)\n",
 			*parse, c.NumFF, c.NumGates(), c.NumBuffers(), c.NumPaths())
+		if *fp {
+			printFingerprint(c)
+		}
 		return
 	}
 
@@ -46,8 +50,11 @@ func main() {
 	c, err := effitest.Generate(profile, *seed)
 	fatal(err)
 
-	if *stats || (*out == "" && *dot == "") {
+	if *stats || (*out == "" && *dot == "" && !*fp) {
 		printStats(c)
+	}
+	if *fp {
+		printFingerprint(c)
 	}
 	if *dot != "" {
 		f, err := os.Create(*dot)
@@ -69,6 +76,15 @@ func main() {
 			fmt.Printf("wrote %s\n", *out)
 		}
 	}
+}
+
+// printFingerprint prints the content hash that keys plan artifacts and
+// the plan cache: two circuits with equal fingerprints are interchangeable
+// inputs to the offline flow.
+func printFingerprint(c *effitest.Circuit) {
+	h, err := effitest.CircuitFingerprint(c)
+	fatal(err)
+	fmt.Printf("fingerprint %s\n", h)
 }
 
 func printStats(c *effitest.Circuit) {

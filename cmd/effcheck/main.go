@@ -35,6 +35,7 @@ func main() {
 		short     = flag.Bool("short", false, "skip heavy scenarios (Table-1 circuits, experiment runners)")
 		filter    = flag.String("filter", "", "run only scenarios whose name contains this substring")
 		verbose   = flag.Bool("v", false, "print every out-of-tolerance field (default: first 8 per scenario)")
+		planCache = flag.String("plan-cache", "", "plan cache directory for pipeline scenarios (2nd invocation skips Prepare)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 			fmt.Printf("%-45s %-8s %s\n", name, "skip", "heavy scenario (-short)")
 			continue
 		}
+		sc.PlanCache = *planCache
 		ran++
 		snap, note, ok := runScenario(ctx, sc, *goldenDir, *update, *verbose)
 		status := "ok"
@@ -99,10 +101,16 @@ func main() {
 func runScenario(ctx context.Context, sc conformance.Scenario, goldenDir string, update, verbose bool) (*conformance.Snapshot, string, bool) {
 	var snap *conformance.Snapshot
 	var violations []string
+	var cacheNote string
 	if sc.Kind == conformance.KindPipeline {
 		res, err := conformance.RunPipeline(ctx, sc)
 		if err != nil {
 			return nil, err.Error(), false
+		}
+		if res.Engine.PlanCacheHit() {
+			cacheNote = "plan cache hit (Prepare skipped); "
+		} else if sc.PlanCache != "" {
+			cacheNote = "plan cache warmed; "
 		}
 		snap = res.Snap
 		violations = conformance.PlanViolations(res.Engine.Plan())
@@ -128,7 +136,7 @@ func runScenario(ctx context.Context, sc conformance.Scenario, goldenDir string,
 		if err := snap.WriteFile(path); err != nil {
 			return snap, err.Error(), false
 		}
-		return snap, "golden written", true
+		return snap, cacheNote + "golden written", true
 	}
 	want, err := conformance.LoadSnapshot(path)
 	if err != nil {
@@ -136,7 +144,7 @@ func runScenario(ctx context.Context, sc conformance.Scenario, goldenDir string,
 	}
 	diffs := conformance.Diff(snap, want)
 	if len(diffs) == 0 {
-		return snap, "", true
+		return snap, strings.TrimSuffix(cacheNote, "; "), true
 	}
 	shown := diffs
 	if !verbose && len(shown) > 8 {

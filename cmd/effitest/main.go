@@ -6,6 +6,15 @@
 // Usage:
 //
 //	effitest -circuit s9234 -chips 100 -seed 1 -quantile 0.8413 -workers 0
+//
+// The expensive offline Prepare can be amortized across invocations:
+//
+//	effitest -circuit s9234 -plan-cache /var/cache/effitest   # 2nd run skips Prepare
+//	effitest -circuit s9234 -save-plan s9234.effiplan         # export the artifact
+//	effitest -circuit s9234 -load-plan s9234.effiplan         # run from the artifact
+//
+// (a ".json" extension on -save-plan/-load-plan selects the JSON artifact
+// form.)
 package main
 
 import (
@@ -30,6 +39,9 @@ func main() {
 		align    = flag.String("align", "heuristic", "alignment solver: heuristic | fast-milp | paper-ilp | off")
 		eps      = flag.Float64("eps", 0, "delay-range termination threshold in ns (0 = default 0.002)")
 		workers  = flag.Int("workers", 0, "worker goroutines for chip execution (0 = all CPUs, 1 = sequential)")
+		cacheDir = flag.String("plan-cache", "", "content-addressed plan cache directory (skips Prepare on a warm hit)")
+		savePlan = flag.String("save-plan", "", "write the prepared plan artifact to this path (.json = JSON form)")
+		loadPlan = flag.String("load-plan", "", "load the plan from this artifact instead of running Prepare")
 	)
 	flag.Parse()
 
@@ -76,12 +88,33 @@ func main() {
 	fmt.Printf("circuit %s: ns=%d ng=%d nb=%d np=%d  Tnominal=%.4f ns\n",
 		c.Name, c.NumFF, c.NumGates(), c.NumBuffers(), c.NumPaths(), c.TNominal)
 
+	if *cacheDir != "" {
+		opts = append(opts, effitest.WithPlanCache(*cacheDir))
+	}
+	if *loadPlan != "" {
+		pl, err := effitest.LoadPlan(*loadPlan, c)
+		fatal(err)
+		opts = append(opts, effitest.WithPlan(pl))
+	}
+
 	eng, err := effitest.NewCtx(ctx, c, opts...)
 	fatal(err)
 	plan := eng.Plan()
+	switch {
+	case *loadPlan != "":
+		fmt.Printf("offline: plan loaded from %s (Prepare skipped)\n", *loadPlan)
+	case eng.PlanCacheHit():
+		fmt.Printf("offline: plan cache hit in %s (Prepare skipped)\n", *cacheDir)
+	case *cacheDir != "":
+		fmt.Printf("offline: plan cache miss; prepared and stored in %s\n", *cacheDir)
+	}
 	fmt.Printf("offline: npt=%d (%.1f%% of np), %d groups, %d batches, Tp=%.2fs\n",
 		plan.NumTested(), 100*float64(plan.NumTested())/float64(c.NumPaths()),
 		len(plan.Groups), len(plan.Batches), plan.PrepDuration.Seconds())
+	if *savePlan != "" {
+		fatal(effitest.SavePlan(*savePlan, plan))
+		fmt.Printf("offline: plan artifact written to %s\n", *savePlan)
+	}
 	fmt.Printf("test period Td=%.4f ns (q%.4g of the no-tuning critical delay)\n", eng.Period(), *quantile)
 
 	allChips, err := eng.SampleChips(ctx, *seed+2000, *chips)

@@ -34,6 +34,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines for the Monte-Carlo loops (0 = all CPUs, 1 = sequential)")
 		jsonOut  = flag.String("json", "", "also write all measured rows as JSON to this file")
 		csvDir   = flag.String("csv", "", "also write table1.csv/table2.csv into this directory")
+		planDir  = flag.String("plan-cache", "", "plan cache directory: per-circuit Prepare runs once and is reused on reruns")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	cfg.Fig8Chips = *fig8N
 	cfg.QuantileChips = *qchips
 	cfg.Fig8MaxBatch = *maxBatch
+	cfg.PlanCache = *planDir
 	cfg.Core.Seed = *seed
 	cfg.Core.Workers = *workers
 

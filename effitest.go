@@ -35,6 +35,7 @@
 //		effitest.WithAlignMode(effitest.AlignHeuristic),
 //		effitest.WithEpsilon(0.002),
 //		effitest.WithWorkers(8),
+//		effitest.WithPlanCache("/var/cache/effitest"), // Prepare once fleet-wide
 //	)
 //	chips, _ := eng.SampleChips(ctx, 1, 1000)
 //	for res := range eng.RunChips(ctx, chips) { // streamed in input order
@@ -45,10 +46,27 @@
 //		fmt.Println(res.Index, res.Outcome.Passed)
 //	}
 //
-// One chip at a time, or aggregated over a population:
+// One chip at a time, aggregated over a population, or streamed from an
+// unbounded source without materializing it:
 //
 //	out, _ := eng.RunChip(ctx, chips[0])
-//	stats, _ := eng.Yield(ctx, chips) // yield + average tester cost
+//	stats, _ := eng.Yield(ctx, chips)        // yield + average tester cost
+//	for res := range eng.Stream(ctx, nextChip) { ... } // iter.Seq[*Chip]
+//
+// The measurement transport is pluggable (WithBackend): the in-process
+// simulated ATE by default, RecordBackend/ReplayBackend for recording and
+// deterministically replaying measurement traces, FaultBackend for
+// injecting typed faults in resilience tests, or any custom Backend
+// bridging to real tester hardware. WithObserver registers a sink for
+// typed flow events (prepare done, batch start/end, alignment solves,
+// frequency steps, chip completions).
+//
+// The offline plan is a first-class artifact: SavePlan/LoadPlan serialize
+// it (versioned binary or JSON, circuit-fingerprinted and validated on
+// load), WithPlan injects a loaded artifact, and WithPlanCache points the
+// engine at a content-addressed on-disk cache so Prepare runs once per
+// (circuit, configuration) across every process that shares the
+// directory.
 //
 // The pre-Engine free functions (Prepare, Plan.RunChip, YieldProposed, ...)
 // remain as thin shims and behave exactly as before.
@@ -114,6 +132,97 @@ type (
 	// ATE is the simulated tester session with iteration accounting.
 	ATE = tester.ATE
 )
+
+// Measurement transport: the Backend interface and its implementations.
+type (
+	// Backend is the pluggable measurement transport: it opens one Session
+	// per chip. Select it with WithBackend.
+	Backend = tester.Backend
+	// Session is one per-chip measurement session (apply buffers, step the
+	// clock, report per-path pass/fail, account the cost).
+	Session = tester.Session
+	// SimBackend is the default in-process simulated ATE transport.
+	SimBackend = tester.SimBackend
+	// RecordBackend wraps a transport and records every measurement into a
+	// serializable Trace.
+	RecordBackend = tester.RecordBackend
+	// ReplayBackend replays a recorded Trace for deterministic offline
+	// re-runs; divergence from the recording is a typed error.
+	ReplayBackend = tester.ReplayBackend
+	// FaultBackend injects deterministic faults and instruments every call
+	// (resilience testing).
+	FaultBackend = tester.FaultBackend
+	// Trace is a serializable recording of a fleet's measurements.
+	Trace = tester.Trace
+	// FaultError is the typed error a FaultBackend injects; it wraps
+	// ErrInjectedFault.
+	FaultError = tester.FaultError
+)
+
+// Backend constructors and trace serialization.
+var (
+	// NewRecorder records every measurement performed through inner (nil =
+	// the default SimBackend).
+	NewRecorder = tester.NewRecorder
+	// NewReplayer replays a recorded trace.
+	NewReplayer = tester.NewReplayer
+	// NewFaultBackend instruments inner (nil = the default SimBackend)
+	// with schedulable faults.
+	NewFaultBackend = tester.NewFaultBackend
+	// WriteTrace / ReadTrace serialize measurement traces as JSON.
+	WriteTrace = tester.WriteTrace
+	ReadTrace  = tester.ReadTrace
+)
+
+// Backend and replay sentinel errors; match with errors.Is.
+var (
+	ErrInjectedFault   = tester.ErrInjectedFault
+	ErrTraceDivergence = tester.ErrTraceDivergence
+	ErrTraceExhausted  = tester.ErrTraceExhausted
+)
+
+// Flow observability: typed events delivered to a WithObserver sink.
+type (
+	// Observer receives flow events; it must be safe for concurrent use.
+	Observer = core.Observer
+	// ObserverFunc adapts a function to the Observer interface.
+	ObserverFunc = core.ObserverFunc
+	// Event is the union of flow event types.
+	Event = core.Event
+	// PrepareDoneEvent fires once when the offline plan is available.
+	PrepareDoneEvent = core.PrepareDoneEvent
+	// BatchStartEvent / BatchEndEvent bracket one batch on one chip.
+	BatchStartEvent = core.BatchStartEvent
+	BatchEndEvent   = core.BatchEndEvent
+	// FrequencyStepEvent fires per tester iteration.
+	FrequencyStepEvent = core.FrequencyStepEvent
+	// AlignSolveEvent fires per §3.3 alignment solve.
+	AlignSolveEvent = core.AlignSolveEvent
+	// ChipDoneEvent fires when one chip's online flow finishes.
+	ChipDoneEvent = core.ChipDoneEvent
+)
+
+// Plan artifact errors; match with errors.Is.
+var (
+	ErrPlanFormat          = core.ErrPlanFormat
+	ErrPlanVersion         = core.ErrPlanVersion
+	ErrPlanCircuitMismatch = core.ErrPlanCircuitMismatch
+)
+
+// SavePlan writes a prepared plan to disk as a versioned artifact —
+// binary, or JSON when the path ends in ".json" — atomically. The artifact
+// embeds the circuit fingerprint and the full flow configuration, so it
+// can be shipped across processes and machines.
+func SavePlan(path string, pl *Plan) error { return core.SavePlan(path, pl) }
+
+// LoadPlan reads a plan artifact (either serialization form) and binds it
+// to the circuit, verifying the embedded circuit fingerprint and
+// range-checking every index. Feed the result to WithPlan to skip Prepare.
+func LoadPlan(path string, c *Circuit) (*Plan, error) { return core.LoadPlan(path, c) }
+
+// CircuitFingerprint returns the stable content hash that keys plan
+// artifacts and the plan cache.
+func CircuitFingerprint(c *Circuit) (string, error) { return circuit.Fingerprint(c) }
 
 // Alignment and configuration solver modes.
 const (
@@ -273,17 +382,18 @@ func InitBounds(c *Circuit) *Bounds { return core.InitBounds(c) }
 func NoHoldBounds(from, to int) float64 { return core.NoHoldBounds(from, to) }
 
 // PathwiseTest measures the given paths one at a time by binary-search
-// frequency stepping (the prior-art baseline of Table 1's t′a column). It
-// returns the total tester iterations and the measured windows.
-func PathwiseTest(ate *ATE, c *Circuit, paths []int, cfg Config) (int, *Bounds, error) {
-	return baseline.Pathwise(context.Background(), ate, c, paths, cfg)
+// frequency stepping (the prior-art baseline of Table 1's t′a column) on
+// any measurement session (an *ATE, or any Session). It returns the total
+// tester iterations and the measured windows.
+func PathwiseTest(sess Session, c *Circuit, paths []int, cfg Config) (int, *Bounds, error) {
+	return baseline.Pathwise(context.Background(), sess, c, paths, cfg)
 }
 
 // MultiplexTest measures the given paths in conflict-free batches, with or
 // without delay alignment by the tuning buffers (Figure 8's second and third
 // cases).
-func MultiplexTest(ate *ATE, c *Circuit, paths []int, lambda func(from, to int) float64, cfg Config, align bool) (int, *Bounds, error) {
-	return baseline.Multiplex(context.Background(), ate, c, paths, lambda, cfg, align)
+func MultiplexTest(sess Session, c *Circuit, paths []int, lambda func(from, to int) float64, cfg Config, align bool) (int, *Bounds, error) {
+	return baseline.Multiplex(context.Background(), sess, c, paths, lambda, cfg, align)
 }
 
 // DefaultExpConfig returns the experiment-harness defaults.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 	"math"
+	"slices"
 
 	"effitest/internal/circuit"
 	"effitest/internal/core"
@@ -37,6 +38,12 @@ type engineSettings struct {
 	periodSet  bool
 	quantile   float64
 	calibChips int
+
+	backend   tester.Backend
+	observer  core.Observer
+	cacheDir  string
+	plan      *core.Plan
+	planIsSet bool
 }
 
 // WithConfig replaces the engine's entire flow configuration. Options
@@ -123,6 +130,48 @@ func WithPeriodQuantile(q float64, chips int) Option {
 	}
 }
 
+// WithBackend selects the measurement transport chips are executed
+// against: the in-process simulated ATE by default (SimBackend), a
+// ReplayBackend for deterministic offline re-runs of a recorded trace, a
+// FaultBackend for resilience tests, or any custom Backend bridging to
+// real tester hardware. The backend must be safe for concurrent session
+// opens; nil restores the default.
+func WithBackend(be Backend) Option {
+	return func(s *engineSettings) { s.backend = be }
+}
+
+// WithObserver registers a sink for typed flow events: prepare done, batch
+// start/end, alignment solves, frequency steps and chip completions.
+// Chips execute concurrently, so the observer must be safe for concurrent
+// use and fast (it runs inline on the measurement hot path).
+func WithObserver(obs Observer) Option {
+	return func(s *engineSettings) { s.observer = obs }
+}
+
+// WithPlanCache points the engine at a content-addressed on-disk plan
+// cache: if dir already holds a plan for this (circuit, configuration),
+// the expensive offline Prepare is skipped entirely and the artifact is
+// loaded instead; otherwise Prepare runs once and its result is stored for
+// every later process. The cache key covers the circuit fingerprint, every
+// Prepare-relevant configuration field and the plan format version, so a
+// stale entry can never be served. PlanCacheHit reports what happened.
+func WithPlanCache(dir string) Option {
+	return func(s *engineSettings) { s.cacheDir = dir }
+}
+
+// WithPlan supplies a pre-built plan (typically from LoadPlan) instead of
+// running Prepare. The plan must be bound to the same circuit handed to
+// New. The engine adopts the plan's flow configuration wholesale, so
+// flow-config options alongside WithPlan have no effect — except
+// WithWorkers, which still applies on top, since the worker count never
+// shaped a plan.
+func WithPlan(pl *Plan) Option {
+	return func(s *engineSettings) {
+		s.plan = pl
+		s.planIsSet = true
+	}
+}
+
 // Engine is the per-circuit entry point of the EffiTest flow: it holds the
 // prepared Plan (Procedure 1 path selection, test batches, hold bounds) and
 // the calibrated test period, and executes chips — sequentially or fanned
@@ -130,9 +179,17 @@ func WithPeriodQuantile(q float64, chips int) Option {
 //
 // An Engine is immutable after New and safe for concurrent use.
 type Engine struct {
-	c      *circuit.Circuit
-	plan   *core.Plan
-	period float64
+	c        *circuit.Circuit
+	plan     *core.Plan
+	period   float64
+	backend  tester.Backend
+	observer core.Observer
+	cacheHit bool
+}
+
+// runOpts bundles the engine's pluggable pieces for the core flow.
+func (e *Engine) runOpts() core.RunOptions {
+	return core.RunOptions{Backend: e.backend, Observer: e.observer}
 }
 
 // New prepares an Engine for the circuit: it runs the offline flow
@@ -150,11 +207,10 @@ func New(c *Circuit, opts ...Option) (*Engine, error) {
 	return NewCtx(context.Background(), c, opts...)
 }
 
-// NewCtx is New with cancellation of the construction work. The period
-// calibration (a Monte-Carlo sweep over thousands of chips) is checked
-// against the context; the offline Prepare itself is not yet cancellable,
-// so on large circuits a cancelled NewCtx returns only after Prepare
-// finishes.
+// NewCtx is New with cancellation of the construction work: both the
+// offline Prepare (checked between path-selection groups and offline
+// stages) and the period calibration (a Monte-Carlo sweep over thousands
+// of chips) abort promptly when the context is cancelled.
 func NewCtx(ctx context.Context, c *Circuit, opts ...Option) (*Engine, error) {
 	s := engineSettings{
 		cfg:        core.DefaultConfig(),
@@ -179,20 +235,75 @@ func NewCtx(ctx context.Context, c *Circuit, opts ...Option) (*Engine, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	plan, err := core.Prepare(c, s.cfg)
+	plan, cacheHit, err := resolvePlan(ctx, c, &s)
 	if err != nil {
 		return nil, err
 	}
 	period := s.period
 	if !s.periodSet {
 		period, err = yield.PeriodQuantileCtx(ctx, c,
-			rng.Seed(s.cfg.Seed, "engine-period", c.Name), s.calibChips, s.quantile, s.cfg.Workers)
+			rng.Seed(plan.Cfg.Seed, "engine-period", c.Name), s.calibChips, s.quantile, plan.Cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return &Engine{c: c, plan: plan, period: period}, nil
+	e := &Engine{c: c, plan: plan, period: period, backend: s.backend, observer: s.observer, cacheHit: cacheHit}
+	if e.observer != nil {
+		e.observer.Observe(core.PrepareDoneEvent{
+			Circuit:  c.Name,
+			Groups:   len(plan.Groups),
+			Tested:   plan.NumTested(),
+			Batches:  len(plan.Batches),
+			Duration: plan.PrepDuration,
+			CacheHit: cacheHit,
+		})
+	}
+	return e, nil
 }
+
+// resolvePlan produces the engine's plan by precedence: an explicit
+// WithPlan artifact, then a WithPlanCache lookup (preparing and storing on
+// a miss), then a plain context-aware Prepare. It reports whether the
+// expensive Prepare was skipped.
+func resolvePlan(ctx context.Context, c *Circuit, s *engineSettings) (*core.Plan, bool, error) {
+	if s.planIsSet {
+		if s.plan == nil {
+			return nil, false, fmt.Errorf("effitest: WithPlan(nil)")
+		}
+		// Shallow-copy the supplied plan: the engine owns its plan's Cfg
+		// (the worker count below), and the caller may share one loaded
+		// artifact across several engines. The deep state (groups, batches,
+		// hold bounds) is read-only after Bind, so sharing it is safe.
+		pl := *s.plan
+		if pl.Circuit == nil {
+			// Bind writes the recomputed per-group distributions into the
+			// Groups backing array; clone it so an unbound artifact shared
+			// across engines is never written through.
+			pl.Groups = slices.Clone(pl.Groups)
+			if err := pl.Bind(c); err != nil {
+				return nil, false, err
+			}
+		} else if pl.Circuit != c {
+			return nil, false, core.ErrChipCircuitMismatch
+		}
+		// The plan's configuration governs the flow; only the engine's
+		// worker count applies on top.
+		pl.Cfg.Workers = s.cfg.Workers
+		if err := pl.Cfg.Validate(); err != nil {
+			return nil, false, err
+		}
+		return &pl, true, nil
+	}
+	if s.cacheDir != "" {
+		return core.PrepareCached(ctx, s.cacheDir, c, s.cfg)
+	}
+	pl, err := core.PrepareCtx(ctx, c, s.cfg)
+	return pl, false, err
+}
+
+// PlanCacheHit reports whether the engine's plan came from a cache or a
+// supplied artifact (true) rather than a fresh Prepare (false).
+func (e *Engine) PlanCacheHit() bool { return e.cacheHit }
 
 // Circuit returns the engine's circuit.
 func (e *Engine) Circuit() *Circuit { return e.c }
@@ -206,16 +317,17 @@ func (e *Engine) Config() Config { return e.plan.Cfg }
 // Period returns the engine's test clock period Td in ns.
 func (e *Engine) Period() float64 { return e.period }
 
-// RunChip executes the online flow on one chip at the engine's period. The
-// context is checked on every tester iteration, so cancellation aborts
-// promptly with the context's error.
+// RunChip executes the online flow on one chip at the engine's period,
+// against the engine's measurement backend. The context is checked on
+// every tester iteration, so cancellation aborts promptly with the
+// context's error.
 func (e *Engine) RunChip(ctx context.Context, ch *Chip) (*ChipOutcome, error) {
-	return e.plan.RunChipCtx(ctx, ch, e.period)
+	return e.plan.RunChipOpts(ctx, ch, e.period, e.runOpts())
 }
 
 // RunChipAt is RunChip at an explicit test period.
 func (e *Engine) RunChipAt(ctx context.Context, ch *Chip, Td float64) (*ChipOutcome, error) {
-	return e.plan.RunChipCtx(ctx, ch, Td)
+	return e.plan.RunChipOpts(ctx, ch, Td, e.runOpts())
 }
 
 // RunChips fans the chips across the engine's worker pool (WithWorkers) and
@@ -226,29 +338,51 @@ func (e *Engine) RunChipAt(ctx context.Context, ch *Chip, Td float64) (*ChipOutc
 // context aborts in-flight chips promptly, and the remaining results carry
 // the context's error.
 func (e *Engine) RunChips(ctx context.Context, chips []*Chip) iter.Seq[ChipResult] {
-	return e.plan.RunChips(ctx, chips, e.period, e.plan.Cfg.Workers)
+	return e.plan.RunChipsOpts(ctx, chips, e.period, e.plan.Cfg.Workers, e.runOpts())
 }
 
 // RunChipsAt is RunChips at an explicit test period.
 func (e *Engine) RunChipsAt(ctx context.Context, chips []*Chip, Td float64) iter.Seq[ChipResult] {
-	return e.plan.RunChips(ctx, chips, Td, e.plan.Cfg.Workers)
+	return e.plan.RunChipsOpts(ctx, chips, Td, e.plan.Cfg.Workers, e.runOpts())
+}
+
+// Stream executes the online flow over an unbounded chip source — a
+// generator, a socket feed, a directory walk — pulling chips on demand,
+// fanning them across the worker pool and streaming results in input
+// order. The population is never materialized: memory stays bounded by
+// roughly 3× the worker count regardless of how many chips flow through.
+//
+// Breaking out of the range stops the source and releases the workers.
+// Cancelling the context stops pulling new chips (an unbounded source can
+// never be drained), so the stream ends after the chips already being
+// executed finish — promptly even when the source itself is blocked
+// mid-pull. RunChips is the slice adapter over this core, with the one
+// extra guarantee a finite population affords: exactly len(chips) results
+// even under cancellation.
+func (e *Engine) Stream(ctx context.Context, chips iter.Seq[*Chip]) iter.Seq[ChipResult] {
+	return e.plan.Stream(ctx, chips, e.period, e.plan.Cfg.Workers, e.runOpts())
+}
+
+// StreamAt is Stream at an explicit test period.
+func (e *Engine) StreamAt(ctx context.Context, chips iter.Seq[*Chip], Td float64) iter.Seq[ChipResult] {
+	return e.plan.Stream(ctx, chips, Td, e.plan.Cfg.Workers, e.runOpts())
 }
 
 // RunChipsAll collects the full stream, returning one outcome per chip (in
 // input order) or the lowest-index per-chip error.
 func (e *Engine) RunChipsAll(ctx context.Context, chips []*Chip) ([]*ChipOutcome, error) {
-	return e.plan.RunChipsAll(ctx, chips, e.period, e.plan.Cfg.Workers)
+	return e.plan.RunChipsAllOpts(ctx, chips, e.period, e.plan.Cfg.Workers, e.runOpts())
 }
 
 // Yield runs the full flow on every chip at the engine's period and
 // aggregates yield and tester cost across the worker pool.
 func (e *Engine) Yield(ctx context.Context, chips []*Chip) (ProposedStats, error) {
-	return yield.ProposedCtx(ctx, e.plan, chips, e.period)
+	return yield.ProposedOpts(ctx, e.plan, chips, e.period, e.runOpts())
 }
 
 // YieldAt is Yield at an explicit test period.
 func (e *Engine) YieldAt(ctx context.Context, chips []*Chip, Td float64) (ProposedStats, error) {
-	return yield.ProposedCtx(ctx, e.plan, chips, Td)
+	return yield.ProposedOpts(ctx, e.plan, chips, Td, e.runOpts())
 }
 
 // SampleChips manufactures n chips of the engine's circuit on the worker

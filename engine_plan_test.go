@@ -1,0 +1,184 @@
+// Plan-artifact coverage at the engine level: the content-addressed plan
+// cache must skip Prepare on a warm hit, and save→load→run must be
+// outcome-identical to in-memory Prepare.
+package effitest_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"effitest"
+)
+
+func planTestCircuit(t *testing.T) *effitest.Circuit {
+	t.Helper()
+	c, err := effitest.Generate(effitest.NewProfile("planned", 24, 200, 3, 24), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEnginePlanCacheSkipsPrepare(t *testing.T) {
+	c := planTestCircuit(t)
+	dir := t.TempDir()
+	ctx := context.Background()
+	opts := []effitest.Option{
+		effitest.WithPeriodQuantile(0.8413, 200),
+		effitest.WithPlanCache(dir),
+	}
+
+	cold, err := effitest.New(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PlanCacheHit() {
+		t.Fatal("cold engine reported a cache hit")
+	}
+	warm, err := effitest.New(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.PlanCacheHit() {
+		t.Fatal("second engine did not hit the plan cache")
+	}
+	if cold.Period() != warm.Period() {
+		t.Fatalf("period differs: %v vs %v", cold.Period(), warm.Period())
+	}
+
+	chips, err := cold.SampleChips(ctx, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cold.RunChipsAll(ctx, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := warm.RunChipsAll(ctx, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chips {
+		if !engineOutcomesEqual(a[i], b[i]) {
+			t.Fatalf("chip %d: cached-plan outcome differs", i)
+		}
+	}
+
+	// A different flow configuration must not reuse the entry.
+	miss, err := effitest.New(c, append(opts, effitest.WithEpsilon(0.004))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.PlanCacheHit() {
+		t.Fatal("different-ε engine falsely hit the cache")
+	}
+}
+
+func TestEngineWithLoadedPlan(t *testing.T) {
+	c := planTestCircuit(t)
+	ctx := context.Background()
+	base, err := effitest.New(c, effitest.WithPeriodQuantile(0.8413, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.effiplan")
+	if err := effitest.SavePlan(path, base.Plan()); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := effitest.LoadPlan(path, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := effitest.New(c, effitest.WithPeriodQuantile(0.8413, 200), effitest.WithPlan(pl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.PlanCacheHit() {
+		t.Fatal("WithPlan engine should report Prepare skipped")
+	}
+	chips, err := base.SampleChips(ctx, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := base.RunChipsAll(ctx, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.RunChipsAll(ctx, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chips {
+		if !engineOutcomesEqual(a[i], b[i]) {
+			t.Fatalf("chip %d: loaded-plan outcome differs from in-memory Prepare", i)
+		}
+	}
+
+	// Loading against the wrong circuit is a typed error.
+	other, err := effitest.Generate(effitest.NewProfile("planned2", 24, 200, 3, 24), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := effitest.LoadPlan(path, other); !errors.Is(err, effitest.ErrPlanCircuitMismatch) {
+		t.Fatalf("LoadPlan(other) = %v, want ErrPlanCircuitMismatch", err)
+	}
+}
+
+// TestEngineWarmCacheStillValidatesOptions pins a regression: option
+// validation must not depend on cache state — an invalid worker count is
+// rejected on a warm cache exactly as on a cold one.
+func TestEngineWarmCacheStillValidatesOptions(t *testing.T) {
+	c := planTestCircuit(t)
+	dir := t.TempDir()
+	if _, err := effitest.New(c, effitest.WithPeriodQuantile(0.8413, 200), effitest.WithPlanCache(dir)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := effitest.New(c,
+		effitest.WithPeriodQuantile(0.8413, 200),
+		effitest.WithPlanCache(dir),
+		effitest.WithWorkers(-1),
+	)
+	if err == nil {
+		t.Fatal("invalid WithWorkers accepted on a warm plan cache")
+	}
+}
+
+// TestWithPlanSharedAcrossEngines shares one loaded artifact between two
+// engines with different worker counts: neither construction may write
+// through to the caller's plan or the sibling engine.
+func TestWithPlanSharedAcrossEngines(t *testing.T) {
+	c := planTestCircuit(t)
+	base, err := effitest.New(c, effitest.WithPeriodQuantile(0.8413, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.effiplan")
+	if err := effitest.SavePlan(path, base.Plan()); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := effitest.LoadPlan(path, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Cfg.Workers = 0
+
+	e1, err := effitest.New(c, effitest.WithPeriodQuantile(0.8413, 200), effitest.WithPlan(pl), effitest.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := effitest.New(c, effitest.WithPeriodQuantile(0.8413, 200), effitest.WithPlan(pl), effitest.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e1.Config().Workers; got != 1 {
+		t.Fatalf("engine 1 workers = %d after sibling construction, want 1", got)
+	}
+	if got := e2.Config().Workers; got != 8 {
+		t.Fatalf("engine 2 workers = %d, want 8", got)
+	}
+	if pl.Cfg.Workers != 0 {
+		t.Fatalf("caller's plan mutated: Workers = %d, want 0", pl.Cfg.Workers)
+	}
+}

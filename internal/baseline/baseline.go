@@ -16,7 +16,7 @@ import (
 // its μ±3σ bounds with buffers left at zero — one frequency step per
 // iteration, one path at a time. It returns the total tester iterations and
 // the final bounds.
-func Pathwise(ctx context.Context, ate *tester.ATE, c *circuit.Circuit, paths []int, cfg core.Config) (int, *core.Bounds, error) {
+func Pathwise(ctx context.Context, sess tester.Session, c *circuit.Circuit, paths []int, cfg core.Config) (int, *core.Bounds, error) {
 	b := core.InitBounds(c)
 	zeros := make([]float64, c.NumFF)
 	iters := 0
@@ -27,7 +27,7 @@ func Pathwise(ctx context.Context, ate *tester.ATE, c *circuit.Circuit, paths []
 		guard := 0
 		for b.Width(p) >= cfg.Eps {
 			T := (b.Lo[p] + b.Hi[p]) / 2
-			applied, pass, err := ate.Step(T, zeros, []int{p})
+			applied, pass, err := sess.Step(T, zeros, []int{p})
 			if err != nil {
 				return iters, b, err
 			}
@@ -55,7 +55,7 @@ func Pathwise(ctx context.Context, ate *tester.ATE, c *circuit.Circuit, paths []
 // clock period is still chosen as the weighted median of range centers);
 // with align=true the full §3.3 delay alignment is used. This reproduces
 // Figure 8's second and third cases.
-func Multiplex(ctx context.Context, ate *tester.ATE, c *circuit.Circuit, paths []int, lambda core.LambdaFunc, cfg core.Config, align bool) (int, *core.Bounds, error) {
+func Multiplex(ctx context.Context, sess tester.Session, c *circuit.Circuit, paths []int, lambda core.LambdaFunc, cfg core.Config, align bool) (int, *core.Bounds, error) {
 	runCfg := cfg
 	if align {
 		if runCfg.AlignMode == core.AlignOff {
@@ -68,7 +68,7 @@ func Multiplex(ctx context.Context, ate *tester.ATE, c *circuit.Circuit, paths [
 	batches := core.FormBatches(c, paths, runCfg)
 	total := 0
 	for _, batch := range batches {
-		iters, _, err := core.RunBatchTest(ctx, ate, c, batch, b, lambda, runCfg)
+		iters, _, err := core.RunBatchTest(ctx, sess, c, batch, b, lambda, runCfg)
 		if err != nil {
 			return total, b, err
 		}

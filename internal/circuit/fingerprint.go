@@ -1,0 +1,20 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of the circuit: the SHA-256 of
+// its canonical netlist serialization, which covers everything the flow
+// consumes (paths with canonical delay forms, buffer lattices, exclusive
+// pairs, the variation model and the timing constants). Two circuits with
+// the same fingerprint are interchangeable inputs to Prepare, so the hash
+// keys plan artifacts and the on-disk plan cache.
+func Fingerprint(c *Circuit) (string, error) {
+	h := sha256.New()
+	if err := WriteNetlist(h, c); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -73,10 +73,17 @@ func RunPipeline(ctx context.Context, sc Scenario) (*PipelineResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("conformance: %s: generate: %w", sc.Name(), err)
 	}
-	eng, err := effitest.NewCtx(ctx, c,
+	opts := []effitest.Option{
 		effitest.WithConfig(sc.Config()),
 		effitest.WithPeriodQuantile(sc.Quantile, sc.CalibChips),
-	)
+	}
+	if sc.PlanCache != "" {
+		opts = append(opts, effitest.WithPlanCache(sc.PlanCache))
+	}
+	if sc.Backend != nil {
+		opts = append(opts, effitest.WithBackend(sc.Backend))
+	}
+	eng, err := effitest.NewCtx(ctx, c, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("conformance: %s: engine: %w", sc.Name(), err)
 	}

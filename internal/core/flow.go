@@ -28,35 +28,50 @@ type Plan struct {
 	Hold    *HoldBounds
 
 	PrepDuration time.Duration
+
+	// circuitHash / circuitName identify the circuit a serialized plan was
+	// prepared for (see planio.go); set by Prepare, the codecs and Bind.
+	circuitHash string
+	circuitName string
 }
 
 // Prepare runs the offline flow of Figure 4: path selection for prediction,
 // test multiplexing (with slot filling), and hold-bound computation.
 func Prepare(c *circuit.Circuit, cfg Config) (*Plan, error) {
+	return PrepareCtx(context.Background(), c, cfg)
+}
+
+// PrepareCtx is Prepare with cancellation: the context is checked between
+// the offline stages and between per-group solves inside them, so on a
+// large circuit a cancelled PrepareCtx returns promptly with the context's
+// error instead of finishing minutes of path selection first.
+func PrepareCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	groups, tested, err := SelectPaths(c, cfg)
+	groups, tested, err := selectPathsCtx(ctx, c, cfg)
 	if err != nil {
 		return nil, err
 	}
 	// Precompute each group's joint distribution once: the per-chip
 	// conditional prediction reuses it across the whole fleet instead of
 	// rebuilding covariance submatrices chip by chip.
-	for i := range groups {
-		if len(groups[i].Paths) < 2 {
-			continue
-		}
-		mvn, err := groupMVN(c, groups[i])
-		if err != nil {
-			return nil, err
-		}
-		groups[i].mvn = mvn
+	if err := precomputeGroupMVNs(ctx, c, groups); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	batches := FormBatches(c, tested, cfg)
 	var filled []int
 	if cfg.FillSlots {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sig, err := PredictSigmas(c, groups, tested)
 		if err != nil {
 			return nil, err
@@ -66,6 +81,9 @@ func Prepare(c *circuit.Circuit, cfg Config) (*Plan, error) {
 			tested = append(append([]int{}, tested...), filled...)
 			sort.Ints(tested)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	hb, err := ComputeHoldBounds(c, cfg)
 	if err != nil {
@@ -83,8 +101,47 @@ func Prepare(c *circuit.Circuit, cfg Config) (*Plan, error) {
 	}, nil
 }
 
+// precomputeGroupMVNs attaches each multi-path group's joint delay
+// distribution (used by Prepare, and by Bind when a plan is restored from a
+// serialized artifact — the MVN is derived state, recomputed rather than
+// shipped).
+func precomputeGroupMVNs(ctx context.Context, c *circuit.Circuit, groups []Group) error {
+	for i := range groups {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if len(groups[i].Paths) < 2 {
+			continue
+		}
+		mvn, err := groupMVN(c, groups[i])
+		if err != nil {
+			return err
+		}
+		groups[i].mvn = mvn
+	}
+	return nil
+}
+
 // NumTested returns the paper's npt.
 func (pl *Plan) NumTested() int { return len(pl.Tested) }
+
+// RunOptions selects the pluggable pieces of chip execution: the
+// measurement transport and the event sink. The zero value is the default
+// flow — in-process simulated ATE, no events.
+type RunOptions struct {
+	// Backend is the measurement transport (nil = tester.SimBackend{}).
+	Backend tester.Backend
+	// Observer receives typed flow events (nil = none). Chips run
+	// concurrently, so the observer must be safe for concurrent use.
+	Observer Observer
+}
+
+func (o RunOptions) backend() tester.Backend {
+	if o.Backend == nil {
+		return tester.SimBackend{}
+	}
+	return o.Backend
+}
 
 // ChipOutcome is the per-chip result of the online flow.
 type ChipOutcome struct {
@@ -111,31 +168,56 @@ func (pl *Plan) RunChip(ch *tester.Chip, Td float64) (*ChipOutcome, error) {
 // RunChipCtx is RunChip with cancellation: the context is checked on every
 // batch and every tester iteration inside a batch, so a cancelled run
 // aborts promptly with the context's error. RunChipCtx is safe for
-// concurrent use on distinct chips — each run owns its ATE session and
-// bounds, and the plan is read-only after Prepare.
+// concurrent use on distinct chips — each run owns its measurement session
+// and bounds, and the plan is read-only after Prepare.
 func (pl *Plan) RunChipCtx(ctx context.Context, ch *tester.Chip, Td float64) (*ChipOutcome, error) {
+	return pl.RunChipOpts(ctx, ch, Td, RunOptions{})
+}
+
+// RunChipOpts is RunChipCtx with a pluggable measurement backend and an
+// event observer. The observer sees BatchStart/End, AlignSolve,
+// FrequencyStep and ChipDone events for this chip (identified by
+// Chip.Index); a nil backend means the in-process simulated ATE.
+func (pl *Plan) RunChipOpts(ctx context.Context, ch *tester.Chip, Td float64, opts RunOptions) (out *ChipOutcome, err error) {
 	if ch.Circuit != pl.Circuit {
 		return nil, ErrChipCircuitMismatch
 	}
+	obs := opts.Observer
+	if obs != nil {
+		defer func() {
+			e := ChipDoneEvent{Chip: ch.Index, Err: err}
+			if out != nil {
+				e.Iterations = out.Iterations
+				e.Configured = out.Configured
+				e.Passed = out.Passed
+			}
+			obs.Observe(e)
+		}()
+	}
 	c := pl.Circuit
 	cfg := pl.Cfg
-	out := &ChipOutcome{}
+	out = &ChipOutcome{}
 
 	b := InitBounds(c)
-	ate := tester.NewATE(ch, cfg.TesterResolution)
+	sess, err := opts.backend().Open(ch, cfg.TesterResolution)
+	if err != nil {
+		return nil, err
+	}
 	lambda := pl.Hold.Lambda
-	for _, batch := range pl.Batches {
+	for bi, batch := range pl.Batches {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		iters, alignDur, err := RunBatchTest(ctx, ate, c, batch, b, lambda, cfg)
+		observe(obs, BatchStartEvent{Chip: ch.Index, Batch: bi, Paths: len(batch)})
+		iters, alignDur, err := runBatchTest(ctx, sess, c, batch, b, lambda, cfg, obs, ch.Index, bi)
+		observe(obs, BatchEndEvent{Chip: ch.Index, Batch: bi, Iterations: iters, AlignTime: alignDur, Err: err})
 		if err != nil {
 			return nil, err
 		}
 		out.Iterations += iters
 		out.AlignDuration += alignDur
 	}
-	out.ScanBits = ate.ScanBits
+	_, out.ScanBits = sess.Counters()
 
 	if err := PredictBounds(c, pl.Groups, pl.Tested, b); err != nil {
 		return nil, err

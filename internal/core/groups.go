@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -30,6 +31,13 @@ type Group struct {
 //
 // It returns the groups and the union of selected path ids (sorted).
 func SelectPaths(c *circuit.Circuit, cfg Config) ([]Group, []int, error) {
+	return selectPathsCtx(context.Background(), c, cfg)
+}
+
+// selectPathsCtx is SelectPaths with cancellation, checked once per
+// extracted group — the granularity at which the expensive work (component
+// search + PCA) happens.
+func selectPathsCtx(ctx context.Context, c *circuit.Circuit, cfg Config) ([]Group, []int, error) {
 	n := c.NumPaths()
 	corr := c.CorrMatrix()
 	alive := make([]bool, n)
@@ -41,6 +49,9 @@ func SelectPaths(c *circuit.Circuit, cfg Config) ([]Group, []int, error) {
 
 	var groups []Group
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		seed := -1
 		for p := 0; p < n && seed < 0; p++ {
 			if !alive[p] {

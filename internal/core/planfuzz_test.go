@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"effitest/internal/circuit"
+)
+
+// fuzzPlanArtifacts builds one small valid binary and JSON artifact to seed
+// the fuzzer (plus the circuit to Bind against).
+func fuzzPlanArtifacts(tb testing.TB) (*circuit.Circuit, []byte, []byte) {
+	tb.Helper()
+	c, err := circuit.Generate(circuit.TinyProfile("fuzzplan", 12, 96, 2, 14), 7)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HoldSamples = 40 // keep per-process seeding fast
+	pl, err := Prepare(c, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bin, err := pl.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := EncodePlanJSON(&js, pl); err != nil {
+		tb.Fatal(err)
+	}
+	return c, bin, js.Bytes()
+}
+
+// FuzzPlanDecode asserts the plan codec's safety contract: arbitrary input
+// — truncated, bit-flipped, version-skewed, or valid-but-tampered — must
+// either decode or return a typed error. It must never panic, hang, or
+// allocate unboundedly; and whatever decodes must survive Bind's
+// range validation without out-of-range access.
+func FuzzPlanDecode(f *testing.F) {
+	c, bin, js := fuzzPlanArtifacts(f)
+
+	f.Add(bin)
+	f.Add(js)
+	f.Add(bin[:len(bin)/2])        // truncated
+	f.Add(bin[:len(planMagic)+1])  // header only
+	f.Add([]byte("EFTPLAN\x00"))   // magic, nothing else
+	f.Add([]byte("{}"))            // JSON, wrong shape
+	f.Add([]byte(`{"format":99}`)) // JSON version skew
+	f.Add([]byte{})                // empty
+	skew := append([]byte{}, bin...)
+	skew[len(planMagic)] ^= 0x7F // corrupt the version byte
+	f.Add(skew)
+	flip := append([]byte{}, bin...)
+	flip[len(flip)/2] ^= 0xFF // flip a payload bit
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := DecodePlan(data)
+		if err != nil {
+			return // rejected cleanly: the contract holds
+		}
+		// Whatever decoded must also bind safely (possibly with an error,
+		// e.g. fingerprint mismatch or out-of-range ids) — never panic.
+		_ = pl.Bind(c)
+	})
+}

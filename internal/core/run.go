@@ -3,17 +3,18 @@ package core
 import (
 	"context"
 	"iter"
+	"slices"
 	"sync"
-	"sync/atomic"
 
 	"effitest/internal/pool"
 	"effitest/internal/tester"
 )
 
-// ChipResult is one element of the stream produced by Plan.RunChips: the
-// chip's position in the input slice, the chip itself, and either its
-// outcome or its per-chip error. A failing chip does not stop the other
-// chips — in a binning pipeline a per-chip failure is itself a result.
+// ChipResult is one element of the streams produced by Plan.RunChips and
+// Plan.Stream: the chip's position in the input, the chip itself, and
+// either its outcome or its per-chip error. A failing chip does not stop
+// the other chips — in a binning pipeline a per-chip failure is itself a
+// result.
 type ChipResult struct {
 	Index   int
 	Chip    *tester.Chip
@@ -34,36 +35,135 @@ type ChipResult struct {
 // remaining results still arrive, carrying the context's error, so the
 // stream always yields exactly len(chips) results unless the consumer
 // breaks first.
+//
+// RunChips is a slice adapter over the streaming core (see Stream).
 func (pl *Plan) RunChips(ctx context.Context, chips []*tester.Chip, Td float64, workers int) iter.Seq[ChipResult] {
+	return pl.RunChipsOpts(ctx, chips, Td, workers, RunOptions{})
+}
+
+// RunChipsOpts is RunChips with a pluggable measurement backend and event
+// observer.
+func (pl *Plan) RunChipsOpts(ctx context.Context, chips []*tester.Chip, Td float64, workers int, opts RunOptions) iter.Seq[ChipResult] {
+	if len(chips) == 0 {
+		return func(func(ChipResult) bool) {}
+	}
+	w := pool.Resolve(workers)
+	if w > len(chips) {
+		w = len(chips)
+	}
+	// drainAll: a slice's population is already materialized, so under
+	// cancellation every chip still gets its (error-tagged) result and the
+	// stream length stays len(chips).
+	return pl.stream(ctx, slices.Values(chips), Td, w, opts, true)
+}
+
+// Stream executes the online flow over an unbounded chip source: chips are
+// pulled from the sequence on demand, fanned across the worker pool, and
+// their results streamed in input order — the population is never
+// materialized, so a generator can feed millions of chips through a
+// fixed-memory window of roughly 3×workers in-flight chips.
+//
+// Semantics differ from RunChips in one deliberate way: cancelling the
+// context stops pulling from the source (an unbounded source can never be
+// drained), so the stream ends — promptly even when the source itself is
+// blocked mid-pull — after the chips already being executed finish;
+// chips queued but not yet picked up by a worker are dropped. Breaking out
+// of the range likewise stops the source and releases the workers.
+func (pl *Plan) Stream(ctx context.Context, chips iter.Seq[*tester.Chip], Td float64, workers int, opts RunOptions) iter.Seq[ChipResult] {
+	return pl.stream(ctx, chips, Td, pool.Resolve(workers), opts, false)
+}
+
+// stream is the shared fan-out core: one producer goroutine pulls chips
+// from src and hands (index, chip) jobs to w workers; a reorder buffer
+// re-establishes input order on the way out. drainAll selects the
+// cancellation contract: true keeps producing after ctx cancellation
+// (slice semantics — every chip gets a result), false stops the producer
+// (unbounded-source semantics).
+func (pl *Plan) stream(ctx context.Context, src iter.Seq[*tester.Chip], Td float64, w int, opts RunOptions, drainAll bool) iter.Seq[ChipResult] {
 	return func(yield func(ChipResult) bool) {
-		if len(chips) == 0 {
-			return
+		runCtx, cancelRun := context.WithCancel(ctx)
+		defer cancelRun()
+		// abort closes when the consumer breaks (or the stream returns):
+		// it unblocks the producer and any worker parked on a channel send,
+		// independent of the external context.
+		abort := make(chan struct{})
+		var abortOnce sync.Once
+		closeAbort := func() { abortOnce.Do(func() { close(abort) }) }
+		defer closeAbort()
+
+		type job struct {
+			i  int
+			ch *tester.Chip
 		}
-		w := pool.Resolve(workers)
-		if w > len(chips) {
-			w = len(chips)
-		}
-		ctx, cancel := context.WithCancel(ctx)
-		defer cancel()
+		jobs := make(chan job, w)
+		go func() {
+			defer close(jobs)
+			i := 0
+			for ch := range src {
+				j := job{i, ch}
+				if drainAll {
+					select {
+					case jobs <- j:
+					case <-abort:
+						return
+					}
+				} else {
+					if runCtx.Err() != nil {
+						return
+					}
+					select {
+					case jobs <- j:
+					case <-abort:
+						return
+					case <-runCtx.Done():
+						return
+					}
+				}
+				i++
+			}
+		}()
 
 		inner := make(chan ChipResult, w)
-		var next atomic.Int64
-		next.Store(-1)
 		var wg sync.WaitGroup
 		wg.Add(w)
 		for k := 0; k < w; k++ {
 			go func() {
 				defer wg.Done()
 				for {
-					i := int(next.Add(1))
-					if i >= len(chips) {
+					var j job
+					var ok bool
+					if drainAll {
+						// Slice semantics: every chip gets a result, so
+						// keep claiming even after cancellation (claims
+						// resolve instantly to error-tagged results).
+						j, ok = <-jobs
+					} else {
+						// Unbounded-source semantics: the producer may be
+						// parked inside a blocking source pull that
+						// cancellation cannot interrupt, so a worker
+						// waiting for it must also watch the context —
+						// otherwise a cancelled stream over a stalled
+						// source would hang instead of ending.
+						select {
+						case j, ok = <-jobs:
+						case <-runCtx.Done():
+							return
+						case <-abort:
+							return
+						}
+					}
+					if !ok {
 						return
 					}
-					r := ChipResult{Index: i, Chip: chips[i]}
-					if r.Err = ctx.Err(); r.Err == nil {
-						r.Outcome, r.Err = pl.RunChipCtx(ctx, chips[i], Td)
+					r := ChipResult{Index: j.i, Chip: j.ch}
+					if r.Err = runCtx.Err(); r.Err == nil {
+						r.Outcome, r.Err = pl.RunChipOpts(runCtx, j.ch, Td, opts)
 					}
-					inner <- r
+					select {
+					case inner <- r:
+					case <-abort:
+						return
+					}
 				}
 			}()
 		}
@@ -71,18 +171,10 @@ func (pl *Plan) RunChips(ctx context.Context, chips []*tester.Chip, Td float64, 
 			wg.Wait()
 			close(inner)
 		}()
-		// On early exit (consumer break), cancel and drain inner so the
-		// workers can finish and terminate; claims made after cancellation
-		// resolve instantly. After a complete iteration this is a no-op on
-		// an already closed, empty channel.
-		defer func() {
-			cancel()
-			for range inner {
-			}
-		}()
 
 		// Reorder buffer: workers finish out of order, the stream is
-		// emitted in index order.
+		// emitted in index order. Claims are contiguous from 0, so the
+		// buffer never holds more than the in-flight window.
 		pending := make(map[int]ChipResult, w)
 		sendNext := 0
 		for r := range inner {
@@ -106,8 +198,14 @@ func (pl *Plan) RunChips(ctx context.Context, chips []*tester.Chip, Td float64, 
 // lowest-index per-chip error (exactly what a sequential loop would have
 // hit first) if any chip failed. The outcome slice is parallel to chips.
 func (pl *Plan) RunChipsAll(ctx context.Context, chips []*tester.Chip, Td float64, workers int) ([]*ChipOutcome, error) {
+	return pl.RunChipsAllOpts(ctx, chips, Td, workers, RunOptions{})
+}
+
+// RunChipsAllOpts is RunChipsAll with a pluggable measurement backend and
+// event observer.
+func (pl *Plan) RunChipsAllOpts(ctx context.Context, chips []*tester.Chip, Td float64, workers int, opts RunOptions) ([]*ChipOutcome, error) {
 	outs := make([]*ChipOutcome, len(chips))
-	for r := range pl.RunChips(ctx, chips, Td, workers) {
+	for r := range pl.RunChipsOpts(ctx, chips, Td, workers, opts) {
 		if r.Err != nil {
 			// Results stream in index order, so the first error seen is the
 			// lowest-index one; breaking stops the remaining chips.

@@ -48,10 +48,21 @@ func NoHoldBounds(from, to int) float64 { return math.Inf(-1) }
 // frequency step to the whole batch, and tighten each path's window from its
 // own pass/fail bit; a path is removed once its window is narrower than ε.
 //
+// The measurement transport is any tester.Session — the simulated ATE, a
+// trace replayer, or an instrumented wrapper; the flow only ever sees
+// pass/fail bits and applied periods.
+//
 // It returns the number of tester iterations spent and the time spent in the
 // alignment solver (the paper's Tt component). The context is checked before
 // every frequency step, so cancelling it aborts a long batch promptly.
-func RunBatchTest(ctx context.Context, ate *tester.ATE, c *circuit.Circuit, batch []int, b *Bounds, lambda LambdaFunc, cfg Config) (int, time.Duration, error) {
+func RunBatchTest(ctx context.Context, sess tester.Session, c *circuit.Circuit, batch []int, b *Bounds, lambda LambdaFunc, cfg Config) (int, time.Duration, error) {
+	return runBatchTest(ctx, sess, c, batch, b, lambda, cfg, nil, 0, 0)
+}
+
+// runBatchTest is RunBatchTest with observer plumbing: chip is the die
+// index and batchIdx the batch's position in the plan, both only used to
+// tag events.
+func runBatchTest(ctx context.Context, sess tester.Session, c *circuit.Circuit, batch []int, b *Bounds, lambda LambdaFunc, cfg Config, obs Observer, chip, batchIdx int) (int, time.Duration, error) {
 	active := make([]int, 0, len(batch))
 	for _, p := range batch {
 		if b.Width(p) >= cfg.Eps {
@@ -86,17 +97,20 @@ func RunBatchTest(ctx context.Context, ate *tester.ATE, c *circuit.Circuit, batc
 
 		start := time.Now()
 		res, err := alignSolve(c, items, prevX, cfg)
-		alignDur += time.Since(start)
+		solveDur := time.Since(start)
+		alignDur += solveDur
 		if err != nil {
 			return iters, alignDur, err
 		}
+		observe(obs, AlignSolveEvent{Chip: chip, Batch: batchIdx, Period: res.T, Duration: solveDur})
 		prevX = res.X
 
-		applied, pass, err := ate.Step(res.T, res.X, active)
+		applied, pass, err := sess.Step(res.T, res.X, active)
 		if err != nil {
 			return iters, alignDur, err
 		}
 		iters++
+		observe(obs, FrequencyStepEvent{Chip: chip, Batch: batchIdx, Requested: res.T, Applied: applied, Active: len(active)})
 
 		progressed := false
 		next := active[:0]
@@ -130,11 +144,12 @@ func RunBatchTest(ctx context.Context, ate *tester.ATE, c *circuit.Circuit, batc
 			if tSolo < 0 {
 				tSolo = 0
 			}
-			appliedSolo, passSolo, err := ate.Step(tSolo, res.X, []int{p})
+			appliedSolo, passSolo, err := sess.Step(tSolo, res.X, []int{p})
 			if err != nil {
 				return iters, alignDur, err
 			}
 			iters++
+			observe(obs, FrequencyStepEvent{Chip: chip, Batch: batchIdx, Requested: tSolo, Applied: appliedSolo, Active: 1})
 			tt := appliedSolo - res.X[pt.From] + res.X[pt.To]
 			if passSolo[0] {
 				if tt < b.Hi[p] {

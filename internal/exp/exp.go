@@ -37,8 +37,22 @@ type Config struct {
 	// Fig8MaxBatch caps batch sizes in the no-prediction runs to bound the
 	// alignment solve cost (0 = unlimited).
 	Fig8MaxBatch int
+	// PlanCache, when non-empty, routes every offline Prepare through the
+	// content-addressed plan cache at this directory, so re-running tables
+	// and figures skips the per-circuit offline flow.
+	PlanCache string
 	// Core is the EffiTest flow configuration.
 	Core core.Config
+}
+
+// preparePlan runs the offline flow for one circuit, going through the
+// shared plan cache when one is configured.
+func preparePlan(ctx context.Context, c *circuit.Circuit, cfg Config) (*core.Plan, error) {
+	if cfg.PlanCache == "" {
+		return core.PrepareCtx(ctx, c, cfg.Core)
+	}
+	pl, _, err := core.PrepareCached(ctx, cfg.PlanCache, c, cfg.Core)
+	return pl, err
 }
 
 // DefaultConfig returns harness defaults sized for minutes-scale full runs.
@@ -81,7 +95,7 @@ func Table1(ctx context.Context, p circuit.Profile, cfg Config) (Table1Row, erro
 	if err != nil {
 		return Table1Row{}, err
 	}
-	plan, err := core.Prepare(c, cfg.Core)
+	plan, err := preparePlan(ctx, c, cfg)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -174,7 +188,7 @@ func Table2(ctx context.Context, p circuit.Profile, cfg Config) (Table2Row, erro
 	if err != nil {
 		return Table2Row{}, err
 	}
-	plan, err := core.Prepare(c, cfg.Core)
+	plan, err := preparePlan(ctx, c, cfg)
 	if err != nil {
 		return Table2Row{}, err
 	}
@@ -239,7 +253,7 @@ func Fig7(ctx context.Context, p circuit.Profile, cfg Config) (Fig7Row, error) {
 	if err != nil {
 		return Fig7Row{}, err
 	}
-	plan, err := core.Prepare(inflated, cfg.Core)
+	plan, err := preparePlan(ctx, inflated, cfg)
 	if err != nil {
 		return Fig7Row{}, err
 	}

@@ -1,0 +1,61 @@
+package tester
+
+// Session is one measurement session on one chip: the transport Procedure 2
+// drives. A session applies buffer settings and a clock period in a single
+// frequency-stepping iteration and reports per-path pass/fail, and accounts
+// what the transport spent doing it.
+//
+// *ATE (the in-process simulated tester) is the canonical implementation;
+// replay and fault-injecting sessions wrap or replace it. A session is used
+// by one chip run at a time and need not be safe for concurrent use.
+type Session interface {
+	// Step applies one frequency-stepping iteration: configure the buffers
+	// to x (full per-FF vector), clock the batch's paths at period T, and
+	// report per-path pass (true = setup met). It returns the period the
+	// hardware actually applied (e.g. rounded to the clock-generator grid)
+	// so the caller updates delay bounds consistently with reality.
+	Step(T float64, x []float64, batch []int) (applied float64, pass []bool, err error)
+	// Counters reports the session's accounting so far: frequency-step
+	// iterations applied and configuration bits shifted through the scan
+	// chain.
+	Counters() (iterations int, scanBits int64)
+}
+
+// Backend is the measurement transport of the EffiTest flow: it opens one
+// Session per chip. The engine holds a single Backend for a whole fleet, so
+// implementations must be safe for concurrent Open calls (sessions
+// themselves are single-chip, single-goroutine).
+//
+// Three implementations ship with the package:
+//
+//   - SimBackend: the in-process simulated ATE (the default);
+//   - RecordBackend / ReplayBackend: record measurement traces and replay
+//     them later for deterministic offline re-runs;
+//   - FaultBackend: injects typed faults for resilience testing.
+type Backend interface {
+	Open(ch *Chip, resolution float64) (Session, error)
+}
+
+// Counters reports the ATE session accounting, making *ATE a Session.
+func (a *ATE) Counters() (iterations int, scanBits int64) {
+	return a.Iterations, a.ScanBits
+}
+
+// SimBackend is the default measurement transport: an in-process simulated
+// ATE session per chip. The zero value is ready to use and noiseless; set
+// Jitter (and JitterSeed) to model clock-edge placement noise.
+type SimBackend struct {
+	// Jitter is the standard deviation of per-application clock-edge noise
+	// in ns (0 = noiseless).
+	Jitter float64
+	// JitterSeed seeds the deterministic per-chip noise streams.
+	JitterSeed int64
+}
+
+// Open starts a simulated ATE session on the chip.
+func (sb SimBackend) Open(ch *Chip, resolution float64) (Session, error) {
+	if sb.Jitter > 0 {
+		return NewNoisyATE(ch, resolution, sb.Jitter, sb.JitterSeed), nil
+	}
+	return NewATE(ch, resolution), nil
+}

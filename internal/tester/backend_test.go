@@ -1,0 +1,178 @@
+package tester
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// driveSession runs a fixed, deterministic sequence of steps against a
+// session and returns everything observed, so two transports can be
+// compared bit for bit.
+func driveSession(t *testing.T, s Session, c interface{ NumFF() int }, nFF int) (applieds []float64, passes [][]bool) {
+	t.Helper()
+	x := make([]float64, nFF)
+	for k := 0; k < 6; k++ {
+		T := 0.5 + 0.3*float64(k)
+		x[0] = 0.01 * float64(k%3)
+		applied, pass, err := s.Step(T, x, []int{0, 1, 2})
+		if err != nil {
+			t.Fatalf("step %d: %v", k, err)
+		}
+		applieds = append(applieds, applied)
+		passes = append(passes, append([]bool(nil), pass...))
+	}
+	return applieds, passes
+}
+
+func TestSimBackendMatchesATE(t *testing.T) {
+	c := tiny(t)
+	ch := SampleChip(c, 3, 0)
+
+	sess, err := SimBackend{}.Open(ch, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, p1 := driveSession(t, sess, nil, c.NumFF)
+	a2, p2 := driveSession(t, NewATE(ch, 1e-4), nil, c.NumFF)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("applied[%d]: backend %v vs ATE %v", i, a1[i], a2[i])
+		}
+		for j := range p1[i] {
+			if p1[i][j] != p2[i][j] {
+				t.Fatalf("pass[%d][%d] differs", i, j)
+			}
+		}
+	}
+	i1, s1 := sess.Counters()
+	if i1 != 6 || s1 <= 0 {
+		t.Fatalf("counters = (%d, %d), want 6 iterations and positive scan bits", i1, s1)
+	}
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	c := tiny(t)
+	ch := SampleChip(c, 3, 7)
+
+	rec := NewRecorder(nil)
+	sess, err := rec.Open(ch, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, p1 := driveSession(t, sess, nil, c.NumFF)
+	wantIters, wantScan := sess.Counters()
+
+	// Serialize and re-read the trace, then replay the identical sequence.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rec.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Circuit != c.Name || tr.Resolution != 1e-4 {
+		t.Fatalf("trace header = (%q, %v)", tr.Circuit, tr.Resolution)
+	}
+
+	rp := NewReplayer(tr)
+	rsess, err := rp.Open(ch, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, p2 := driveSession(t, rsess, nil, c.NumFF)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("replayed applied[%d] = %v, recorded %v", i, a2[i], a1[i])
+		}
+		for j := range p1[i] {
+			if p1[i][j] != p2[i][j] {
+				t.Fatalf("replayed pass[%d][%d] differs", i, j)
+			}
+		}
+	}
+	if it, sc := rsess.Counters(); it != wantIters || sc != wantScan {
+		t.Fatalf("replayed counters = (%d, %d), want (%d, %d)", it, sc, wantIters, wantScan)
+	}
+
+	// One step beyond the recording must fail typed, not panic.
+	if _, _, err := rsess.Step(1, make([]float64, c.NumFF), []int{0}); !errors.Is(err, ErrTraceExhausted) {
+		t.Fatalf("step beyond trace = %v, want ErrTraceExhausted", err)
+	}
+	// A second session for the same chip was never recorded.
+	if _, err := rp.Open(ch, 1e-4); !errors.Is(err, ErrTraceExhausted) {
+		t.Fatalf("second open = %v, want ErrTraceExhausted", err)
+	}
+	// An unrecorded chip has no trace at all.
+	if _, err := rp.Open(SampleChip(c, 3, 99), 1e-4); !errors.Is(err, ErrTraceExhausted) {
+		t.Fatalf("unknown chip open = %v, want ErrTraceExhausted", err)
+	}
+}
+
+func TestReplayDetectsDivergence(t *testing.T) {
+	c := tiny(t)
+	ch := SampleChip(c, 3, 1)
+
+	rec := NewRecorder(nil)
+	sess, _ := rec.Open(ch, 1e-4)
+	x := make([]float64, c.NumFF)
+	if _, _, err := sess.Step(0.8, x, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different period.
+	rsess, _ := NewReplayer(rec.Trace()).Open(ch, 1e-4)
+	if _, _, err := rsess.Step(0.9, x, []int{0, 1}); !errors.Is(err, ErrTraceDivergence) {
+		t.Fatalf("period mismatch = %v, want ErrTraceDivergence", err)
+	}
+	// Different batch.
+	rsess, _ = NewReplayer(rec.Trace()).Open(ch, 1e-4)
+	if _, _, err := rsess.Step(0.8, x, []int{0, 2}); !errors.Is(err, ErrTraceDivergence) {
+		t.Fatalf("batch mismatch = %v, want ErrTraceDivergence", err)
+	}
+}
+
+func TestFaultBackendInjectsTypedErrors(t *testing.T) {
+	c := tiny(t)
+	chOK := SampleChip(c, 3, 0)
+	chOpen := SampleChip(c, 3, 1)
+	chStep := SampleChip(c, 3, 2)
+
+	fb := NewFaultBackend(nil).FailOpen(1).FailAtStep(2, 1)
+
+	if _, err := fb.Open(chOpen, 1e-4); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("open fault = %v, want ErrInjectedFault", err)
+	}
+	var fe *FaultError
+	if _, err := fb.Open(chOpen, 1e-4); !errors.As(err, &fe) || fe.Chip != 1 || fe.Op != "open" {
+		t.Fatalf("open fault detail = %v", err)
+	}
+
+	x := make([]float64, c.NumFF)
+	sess, err := fb.Open(chStep, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Step(1, x, []int{0}); err != nil {
+		t.Fatalf("step 0 should pass: %v", err)
+	}
+	_, _, err = sess.Step(1, x, []int{0})
+	if !errors.As(err, &fe) || fe.Chip != 2 || fe.Op != "step" || fe.Step != 1 {
+		t.Fatalf("step fault = %v", err)
+	}
+
+	// Healthy chips keep working through the same backend.
+	sess, err = fb.Open(chOK, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Step(1, x, []int{0}); err != nil {
+		t.Fatalf("healthy chip: %v", err)
+	}
+
+	st := fb.Stats()
+	if st.Opens != 4 || st.Faults != 3 || st.Steps != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,139 @@
+package tester
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjectedFault is the sentinel every injected fault wraps; match with
+// errors.Is. The concrete error is always a *FaultError carrying where the
+// fault fired.
+var ErrInjectedFault = errors.New("tester: injected fault")
+
+// FaultError reports one injected fault: which chip, which operation
+// ("open" or "step") and — for steps — how many steps the session had
+// completed when it fired. It wraps ErrInjectedFault.
+type FaultError struct {
+	Chip int
+	Op   string
+	Step int
+}
+
+// Error describes the fault.
+func (e *FaultError) Error() string {
+	if e.Op == "open" {
+		return fmt.Sprintf("tester: injected fault: chip %d: session open refused", e.Chip)
+	}
+	return fmt.Sprintf("tester: injected fault: chip %d: step %d failed", e.Chip, e.Step)
+}
+
+// Unwrap makes errors.Is(err, ErrInjectedFault) hold.
+func (e *FaultError) Unwrap() error { return ErrInjectedFault }
+
+// FaultBackend wraps another backend, injecting deterministic faults and
+// instrumenting every call — the resilience harness for everything built on
+// chip streams: a faulted chip must surface its typed error through
+// ChipResult.Err without wedging the worker pool or corrupting its
+// neighbours.
+//
+// Faults are scheduled per chip index with FailOpen / FailAtStep; the
+// instrumentation counters (Stats) aggregate across all sessions and are
+// safe to read concurrently.
+type FaultBackend struct {
+	Inner Backend
+
+	mu         sync.Mutex
+	failOpen   map[int]bool
+	failAtStep map[int]int
+
+	opens  atomic.Int64
+	steps  atomic.Int64
+	faults atomic.Int64
+}
+
+// NewFaultBackend instruments inner (nil means the default SimBackend) with
+// no faults scheduled.
+func NewFaultBackend(inner Backend) *FaultBackend {
+	if inner == nil {
+		inner = SimBackend{}
+	}
+	return &FaultBackend{
+		Inner:      inner,
+		failOpen:   make(map[int]bool),
+		failAtStep: make(map[int]int),
+	}
+}
+
+// FailOpen schedules the chip's session open to fail.
+func (fb *FaultBackend) FailOpen(chip int) *FaultBackend {
+	fb.mu.Lock()
+	fb.failOpen[chip] = true
+	fb.mu.Unlock()
+	return fb
+}
+
+// FailAtStep schedules the chip's step number `step` (0-based, counted per
+// session) to fail.
+func (fb *FaultBackend) FailAtStep(chip, step int) *FaultBackend {
+	fb.mu.Lock()
+	fb.failAtStep[chip] = step
+	fb.mu.Unlock()
+	return fb
+}
+
+// BackendStats is the instrumentation aggregate of a FaultBackend.
+type BackendStats struct {
+	Opens  int64 // sessions opened (including refused ones)
+	Steps  int64 // frequency steps attempted
+	Faults int64 // faults injected
+}
+
+// Stats returns the counters accumulated so far.
+func (fb *FaultBackend) Stats() BackendStats {
+	return BackendStats{Opens: fb.opens.Load(), Steps: fb.steps.Load(), Faults: fb.faults.Load()}
+}
+
+// Open starts an instrumented session, or fails with a *FaultError if an
+// open fault is scheduled for the chip.
+func (fb *FaultBackend) Open(ch *Chip, resolution float64) (Session, error) {
+	fb.opens.Add(1)
+	fb.mu.Lock()
+	refuse := fb.failOpen[ch.Index]
+	stepAt, hasStep := fb.failAtStep[ch.Index]
+	fb.mu.Unlock()
+	if refuse {
+		fb.faults.Add(1)
+		return nil, &FaultError{Chip: ch.Index, Op: "open"}
+	}
+	inner, err := fb.Inner.Open(ch, resolution)
+	if err != nil {
+		return nil, err
+	}
+	s := &faultSession{inner: inner, fb: fb, chip: ch.Index, failAt: -1}
+	if hasStep {
+		s.failAt = stepAt
+	}
+	return s, nil
+}
+
+type faultSession struct {
+	inner  Session
+	fb     *FaultBackend
+	chip   int
+	failAt int // step index to fail at, -1 = never
+	step   int
+}
+
+func (fs *faultSession) Step(T float64, x []float64, batch []int) (float64, []bool, error) {
+	fs.fb.steps.Add(1)
+	if fs.failAt >= 0 && fs.step == fs.failAt {
+		fs.fb.faults.Add(1)
+		return 0, nil, &FaultError{Chip: fs.chip, Op: "step", Step: fs.step}
+	}
+	fs.step++
+	return fs.inner.Step(T, x, batch)
+}
+
+func (fs *faultSession) Counters() (int, int64) { return fs.inner.Counters() }

@@ -155,11 +155,17 @@ func Proposed(plan *core.Plan, chips []*tester.Chip, T float64) (ProposedStats, 
 // is reduced from the ordered result stream, so the aggregate is bit-
 // identical to a sequential run.
 func ProposedCtx(ctx context.Context, plan *core.Plan, chips []*tester.Chip, T float64) (ProposedStats, error) {
+	return ProposedOpts(ctx, plan, chips, T, core.RunOptions{})
+}
+
+// ProposedOpts is ProposedCtx with a pluggable measurement backend and
+// event observer.
+func ProposedOpts(ctx context.Context, plan *core.Plan, chips []*tester.Chip, T float64, opts core.RunOptions) (ProposedStats, error) {
 	var st ProposedStats
 	if len(chips) == 0 {
 		return st, nil
 	}
-	outs, err := plan.RunChipsAll(ctx, chips, T, plan.Cfg.Workers)
+	outs, err := plan.RunChipsAllOpts(ctx, chips, T, plan.Cfg.Workers, opts)
 	if err != nil {
 		return st, err
 	}
