@@ -42,6 +42,7 @@ func main() {
 		cacheDir = flag.String("plan-cache", "", "content-addressed plan cache directory (skips Prepare on a warm hit)")
 		savePlan = flag.String("save-plan", "", "write the prepared plan artifact to this path (.json = JSON form)")
 		loadPlan = flag.String("load-plan", "", "load the plan from this artifact instead of running Prepare")
+		progress = flag.Bool("progress", false, "print per-chip/batch progress to stderr while the fleet runs")
 	)
 	flag.Parse()
 
@@ -65,6 +66,9 @@ func main() {
 		effitest.WithSeed(*seed),
 		effitest.WithWorkers(*workers),
 		effitest.WithPeriodQuantile(*quantile, *qchips),
+	}
+	if *progress {
+		opts = append(opts, effitest.WithObserver(effitest.NewProgressPrinter(os.Stderr)))
 	}
 	if *eps > 0 {
 		opts = append(opts, effitest.WithEpsilon(*eps))

@@ -1,0 +1,102 @@
+// Command effitestd is the EffiTest fleet daemon: a long-running HTTP/JSON
+// service that holds one shared engine registry (bounded LRU, single-flight
+// Prepare, optional on-disk plan cache) and one bounded worker pool, and
+// executes named chip campaigns submitted by remote clients — so every
+// tester process in a fleet amortizes the paper's offline statistics
+// instead of recomputing them.
+//
+// Usage:
+//
+//	effitestd -addr :8087 -workers 0 -plan-cache /var/cache/effitest
+//
+// Submit a campaign, stream its results and fetch the final aggregate:
+//
+//	curl -s localhost:8087/v1/campaigns -d '{
+//	  "name": "lot-42",
+//	  "circuit": {"profile": "s9234", "gen_seed": 1},
+//	  "config": {"align": "heuristic", "quantile": 0.8413, "calib_chips": 2000},
+//	  "chips": {"seed": 7, "count": 100}
+//	}'
+//	curl -sN localhost:8087/v1/campaigns/c000001/results
+//	curl -s  localhost:8087/v1/campaigns/c000001/aggregate
+//
+// SIGTERM (or Ctrl-C) drains gracefully: in-flight chips finish, chips
+// never dispatched resolve as cancelled, and the process exits once the
+// pool is idle or -drain-timeout expires (then in-flight chips are
+// hard-cancelled, which they notice within one tester iteration).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"effitest/fleet"
+	"effitest/fleet/httpapi"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8087", "listen address")
+		workers  = flag.Int("workers", 0, "shared worker pool size (0 = all CPUs)")
+		capacity = flag.Int("registry-capacity", 16, "bounded LRU size of the live-engine registry")
+		cacheDir = flag.String("plan-cache", "", "content-addressed plan cache directory backing the registry")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight chips")
+	)
+	flag.Parse()
+
+	regOpts := []fleet.RegistryOption{fleet.WithCapacity(*capacity)}
+	if *cacheDir != "" {
+		regOpts = append(regOpts, fleet.WithPlanCacheDir(*cacheDir))
+	}
+	reg, err := fleet.NewRegistry(regOpts...)
+	fatal(err)
+	m, err := fleet.NewManager(fleet.WithWorkers(*workers), fleet.WithRegistry(reg))
+	fatal(err)
+
+	srv := &http.Server{Addr: *addr, Handler: httpapi.New(m)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "effitestd: listening on %s (workers=%d, registry=%d", *addr, m.Workers(), *capacity)
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, ", plan-cache=%s", *cacheDir)
+	}
+	fmt.Fprintln(os.Stderr, ")")
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "effitestd: draining (budget %s)...\n", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Settle the campaigns first so result streams end, then close the
+	// HTTP listener and wait for connections to wind down.
+	if err := m.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "effitestd: drain budget exceeded, in-flight chips cancelled: %v\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "effitestd: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "effitestd: drained, exiting")
+}
+
+func fatal(err error) {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "effitestd:", err)
+		os.Exit(1)
+	}
+}

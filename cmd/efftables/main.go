@@ -35,6 +35,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "also write all measured rows as JSON to this file")
 		csvDir   = flag.String("csv", "", "also write table1.csv/table2.csv into this directory")
 		planDir  = flag.String("plan-cache", "", "plan cache directory: per-circuit Prepare runs once and is reused on reruns")
+		progress = flag.Bool("progress", false, "print per-chip/batch progress to stderr while experiments run")
 	)
 	flag.Parse()
 
@@ -48,6 +49,9 @@ func main() {
 	cfg.PlanCache = *planDir
 	cfg.Core.Seed = *seed
 	cfg.Core.Workers = *workers
+	if *progress {
+		cfg.Observer = effitest.NewProgressPrinter(os.Stderr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -68,6 +68,13 @@
 // (circuit, configuration) across every process that shares the
 // directory.
 //
+// Above the engine sits the fleet service layer (package effitest/fleet):
+// an engine registry (bounded LRU, single-flight Prepare per circuit and
+// configuration fingerprint) and asynchronous test campaigns on a shared
+// fair-scheduled worker pool, exposed over HTTP/JSON by cmd/effitestd with
+// a typed Go client in effitest/fleet/client — so many tester processes
+// share one plan cache and engine pool.
+//
 // The pre-Engine free functions (Prepare, Plan.RunChip, YieldProposed, ...)
 // remain as thin shims and behave exactly as before.
 package effitest
@@ -221,8 +228,25 @@ func SavePlan(path string, pl *Plan) error { return core.SavePlan(path, pl) }
 func LoadPlan(path string, c *Circuit) (*Plan, error) { return core.LoadPlan(path, c) }
 
 // CircuitFingerprint returns the stable content hash that keys plan
-// artifacts and the plan cache.
+// artifacts, the plan cache and fleet engine registries.
 func CircuitFingerprint(c *Circuit) (string, error) { return circuit.Fingerprint(c) }
+
+// ConfigFingerprint returns the stable hash of every Prepare-relevant flow
+// configuration field (Workers excluded: the worker count never shapes a
+// plan). Together with CircuitFingerprint it keys the plan cache and fleet
+// engine registries.
+func ConfigFingerprint(cfg Config) string { return core.ConfigFingerprint(cfg) }
+
+// EncodePlan serializes a prepared plan into its versioned binary artifact
+// form — the same bytes SavePlan writes — for transports that are not
+// files (an HTTP upload, a database blob).
+func EncodePlan(pl *Plan) ([]byte, error) { return pl.MarshalBinary() }
+
+// DecodePlan decodes a plan artifact in either serialization form (binary
+// or JSON, sniffed by content). The result is unbound: hand it to WithPlan,
+// which binds it to the engine's circuit, verifying the embedded circuit
+// fingerprint.
+func DecodePlan(data []byte) (*Plan, error) { return core.DecodePlan(data) }
 
 // Alignment and configuration solver modes.
 const (

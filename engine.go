@@ -2,6 +2,8 @@ package effitest
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"iter"
 	"math"
@@ -207,16 +209,83 @@ func New(c *Circuit, opts ...Option) (*Engine, error) {
 	return NewCtx(context.Background(), c, opts...)
 }
 
+// defaultSettings is the option-resolution baseline shared by NewCtx and
+// SummarizeOptions: the paper-aligned flow defaults plus the T2 period
+// calibration (q = 0.8413 over 2000 chips).
+func defaultSettings() engineSettings {
+	return engineSettings{
+		cfg:        core.DefaultConfig(),
+		quantile:   0.8413,
+		calibChips: 2000,
+	}
+}
+
+// OptionsSummary describes what an option list resolves to, without running
+// any preparation. Fleet registries use it to key live engines before the
+// expensive construction work happens.
+type OptionsSummary struct {
+	// Config is the resolved flow configuration.
+	Config Config
+	// Fingerprint is a stable hash of every setting that shapes the
+	// engine's numbers: the flow configuration (Workers excluded — the
+	// worker count never changes an outcome) and the period policy (pinned
+	// period, or calibration quantile and chip count). Execution knobs
+	// (WithWorkers, WithPlanCache) are deliberately excluded: engines
+	// differing only in those produce identical results. WithBackend and
+	// WithObserver are excluded too, but they are baked into a constructed
+	// engine — callers deduplicating engines by Fingerprint must not share
+	// them (see HasBackend/HasObserver).
+	Fingerprint string
+	// HasPlan reports a WithPlan option: the supplied artifact, not the
+	// resolved options, then governs the flow, so such engines must not be
+	// deduplicated by Fingerprint.
+	HasPlan bool
+	// HasBackend / HasObserver report a custom measurement transport or
+	// event sink. Both are baked into the engine at construction, so an
+	// engine built with either must not be served to callers that did not
+	// supply it (a fleet registry constructs such engines caller-private).
+	HasBackend  bool
+	HasObserver bool
+	// PlanCacheDir is the WithPlanCache directory, if any.
+	PlanCacheDir string
+}
+
+// SummarizeOptions resolves the option list over the engine defaults and
+// reports the resulting configuration and its fingerprint.
+func SummarizeOptions(opts ...Option) OptionsSummary {
+	s := defaultSettings()
+	for _, o := range opts {
+		o(&s)
+	}
+	// Canonicalize the period policy before hashing: only the active arm's
+	// values matter (WithPeriodQuantile after WithPeriod leaves a stale
+	// period behind, and vice versa), so zero the inactive arm to keep
+	// equivalent option lists on one fingerprint.
+	period, quantile, calib := s.period, s.quantile, s.calibChips
+	if s.periodSet {
+		quantile, calib = 0, 0
+	} else {
+		period = 0
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "effitest-options|config:%s|periodSet:%t|period:%v|quantile:%v|calib:%d",
+		core.ConfigFingerprint(s.cfg), s.periodSet, period, quantile, calib)
+	return OptionsSummary{
+		Config:       s.cfg,
+		Fingerprint:  hex.EncodeToString(h.Sum(nil)),
+		HasPlan:      s.planIsSet,
+		HasBackend:   s.backend != nil,
+		HasObserver:  s.observer != nil,
+		PlanCacheDir: s.cacheDir,
+	}
+}
+
 // NewCtx is New with cancellation of the construction work: both the
 // offline Prepare (checked between path-selection groups and offline
 // stages) and the period calibration (a Monte-Carlo sweep over thousands
 // of chips) abort promptly when the context is cancelled.
 func NewCtx(ctx context.Context, c *Circuit, opts ...Option) (*Engine, error) {
-	s := engineSettings{
-		cfg:        core.DefaultConfig(),
-		quantile:   0.8413,
-		calibChips: 2000,
-	}
+	s := defaultSettings()
 	for _, o := range opts {
 		o(&s)
 	}
@@ -304,6 +373,18 @@ func resolvePlan(ctx context.Context, c *Circuit, s *engineSettings) (*core.Plan
 // PlanCacheHit reports whether the engine's plan came from a cache or a
 // supplied artifact (true) rather than a fresh Prepare (false).
 func (e *Engine) PlanCacheHit() bool { return e.cacheHit }
+
+// CircuitFingerprint returns the content hash of the engine's circuit — the
+// circuit half of a fleet-registry or plan-cache key.
+func (e *Engine) CircuitFingerprint() (string, error) { return circuit.Fingerprint(e.c) }
+
+// ConfigFingerprint returns the hash of the engine's Prepare-relevant flow
+// configuration (Workers excluded) — the configuration half of the
+// plan-cache key. Fleet registries key on SummarizeOptions.Fingerprint
+// instead, which additionally covers the period policy: two engines can
+// share a ConfigFingerprint (and therefore a cached plan) while being
+// distinct registry entries with different calibrated periods.
+func (e *Engine) ConfigFingerprint() string { return core.ConfigFingerprint(e.plan.Cfg) }
 
 // Circuit returns the engine's circuit.
 func (e *Engine) Circuit() *Circuit { return e.c }

@@ -1,0 +1,109 @@
+package fleet_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"effitest"
+	"effitest/fleet"
+	"effitest/fleet/client"
+	"effitest/fleet/httpapi"
+)
+
+// benchCircuit matches the wire spec used by BenchmarkCampaignThroughputHTTP,
+// so both benchmarks run identical work and the chips/s gap is pure
+// transport + service overhead.
+const benchChips = 32
+
+func benchSpec() (httpapi.CircuitSpec, httpapi.ConfigSpec, httpapi.ChipSpec) {
+	return httpapi.CircuitSpec{
+			Custom:  &httpapi.CustomProfile{Name: "bench24", FFs: 24, Gates: 200, Buffers: 3, Paths: 24},
+			GenSeed: 4,
+		}, httpapi.ConfigSpec{Quantile: 0.8413, CalibChips: 100},
+		httpapi.ChipSpec{Seed: 9, Count: benchChips}
+}
+
+// BenchmarkCampaignThroughputInProcess measures chips/s through the fleet
+// manager directly: submit → shared pool → settle, no HTTP.
+func BenchmarkCampaignThroughputInProcess(b *testing.B) {
+	m, err := fleet.NewManager()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+	cs, _, _ := benchSpec()
+	c, err := effitest.Generate(effitest.NewProfile(cs.Custom.Name, cs.Custom.FFs, cs.Custom.Gates, cs.Custom.Buffers, cs.Custom.Paths), cs.GenSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []effitest.Option{effitest.WithPeriodQuantile(0.8413, 100)}
+	ctx := context.Background()
+
+	// Warm the registry so the measured loop is pure campaign execution.
+	warm, err := m.Submit(fleet.CampaignSpec{Circuit: c, Options: opts, ChipSeed: 9, ChipCount: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warm.Wait(ctx); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		camp, err := m.Submit(fleet.CampaignSpec{Circuit: c, Options: opts, ChipSeed: 9, ChipCount: benchChips})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st, err := camp.Wait(ctx); err != nil || st.State != fleet.StateDone {
+			b.Fatalf("campaign: %v %v", st.State, err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchChips*b.N)/b.Elapsed().Seconds(), "chips/s")
+}
+
+// BenchmarkCampaignThroughputHTTP measures the same campaign over HTTP
+// loopback through the Go client, including the NDJSON result stream.
+func BenchmarkCampaignThroughputHTTP(b *testing.B) {
+	m, err := fleet.NewManager()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+	ts := httptest.NewServer(httpapi.New(m))
+	defer ts.Close()
+	cl := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+
+	cs, cf, chips := benchSpec()
+	ctx := context.Background()
+	warmChips := chips
+	warmChips.Count = 1
+	warm, err := cl.Submit(ctx, httpapi.CampaignRequest{Circuit: cs, Config: cf, Chips: warmChips})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cl.WaitSettled(ctx, warm.ID); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := cl.Submit(ctx, httpapi.CampaignRequest{Circuit: cs, Config: cf, Chips: chips})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for res, err := range cl.StreamResults(ctx, st.ID) {
+			if err != nil || res.Error != "" {
+				b.Fatalf("chip %d: %v %s", n, err, res.Error)
+			}
+			n++
+		}
+		if n != benchChips {
+			b.Fatalf("streamed %d/%d results", n, benchChips)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchChips*b.N)/b.Elapsed().Seconds(), "chips/s")
+}

@@ -1,0 +1,744 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"slices"
+	"sync"
+	"time"
+
+	"effitest"
+	"effitest/internal/pool"
+	"effitest/internal/yield"
+)
+
+// Sentinel errors of the campaign layer; match with errors.Is.
+var (
+	// ErrManagerClosed tags work refused or abandoned because the manager
+	// is shutting down.
+	ErrManagerClosed = errors.New("fleet: manager closed")
+	// ErrCampaignCancelled tags chips abandoned by Campaign.Cancel before
+	// they were dispatched.
+	ErrCampaignCancelled = errors.New("fleet: campaign cancelled")
+)
+
+// State is a campaign's lifecycle phase.
+type State string
+
+// Campaign states. Queued covers both engine resolution (the registry may
+// be running Prepare) and waiting for pool capacity; Cancelled and Failed
+// are terminal like Done, but a cancelled campaign may still be draining
+// its in-flight chips when the state first reads Cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether the state is final (done, cancelled or failed).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// CampaignSpec names a batch of chips to run as one asynchronous job.
+type CampaignSpec struct {
+	// Name is a free-form label carried through Status.
+	Name string
+	// Circuit is the circuit under test. When another campaign already
+	// registered the same content, the registry's instance is used; chips
+	// are always manufactured from the engine's circuit.
+	Circuit *effitest.Circuit
+	// Options configure the engine (see effitest.New). Execution knobs
+	// (WithWorkers) are irrelevant here: campaign chips run one at a time
+	// on the manager's shared pool.
+	Options []effitest.Option
+	// Plan, when non-nil, supplies a pre-built plan artifact; the engine is
+	// constructed directly from it, bypassing the registry.
+	Plan *effitest.Plan
+	// Chips is an explicit chip population. Every chip must reference the
+	// engine's circuit instance; prefer ChipSeed/ChipCount, which sample
+	// from it deterministically.
+	Chips []*effitest.Chip
+	// ChipSeed/ChipCount sample the population deterministically (see
+	// Engine.SampleChips) when Chips is nil.
+	ChipSeed  int64
+	ChipCount int
+}
+
+// Status is a point-in-time snapshot of a campaign.
+type Status struct {
+	ID    string
+	Name  string
+	State State
+
+	// ChipsTotal is the population size (0 until the engine is resolved
+	// when the spec sampled by seed/count).
+	ChipsTotal int
+	// ChipsDone counts chips with a result, including per-chip errors.
+	ChipsDone int
+	// ChipsPassed / ChipsFailed split ChipsDone into final-test passes and
+	// per-chip errors (a configured-but-failing chip is neither).
+	ChipsPassed int
+	ChipsFailed int
+	// RunningYield is ChipsPassed over chips with an error-free outcome so
+	// far — the live estimate that converges to Stats.Yield.
+	RunningYield float64
+	// Stats aggregates the error-free outcomes observed so far; final once
+	// the campaign settles. Sharded aggregation is exact: these are the
+	// same numbers a sequential Engine run would report.
+	Stats effitest.ProposedStats
+	// Period is the engine's calibrated test period (0 while queued).
+	Period float64
+	// Err is the campaign-level failure (engine construction or sampling),
+	// nil for per-chip errors, which live in the result stream.
+	Err error
+
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+}
+
+// Campaign is one submitted batch job. All methods are safe for concurrent
+// use.
+type Campaign struct {
+	id   string
+	name string
+	m    *Manager
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// nextDispatch is the index of the first undispatched chip; it is owned
+	// by the manager and only touched under m.mu.
+	nextDispatch int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     State
+	err       error
+	eng       *effitest.Engine
+	chips     []*effitest.Chip
+	results   []*effitest.ChipResult // fixed size once chips resolve; nil entries pending
+	completed int
+	agg       yield.Agg
+	failed    int // per-chip errors
+	cancelled bool
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the manager-assigned campaign identifier.
+func (c *Campaign) ID() string { return c.id }
+
+// Name returns the submitted campaign name.
+func (c *Campaign) Name() string { return c.name }
+
+// Status returns a point-in-time snapshot.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		ID:          c.id,
+		Name:        c.name,
+		State:       c.state,
+		ChipsTotal:  len(c.results),
+		ChipsDone:   c.completed,
+		ChipsPassed: c.agg.Passed,
+		ChipsFailed: c.failed,
+		Stats:       c.agg.Stats(),
+		Err:         c.err,
+		SubmittedAt: c.submitted,
+		StartedAt:   c.started,
+		FinishedAt:  c.finished,
+	}
+	if c.agg.Chips > 0 {
+		st.RunningYield = float64(c.agg.Passed) / float64(c.agg.Chips)
+	}
+	if c.eng != nil {
+		st.Period = c.eng.Period()
+	}
+	return st
+}
+
+// Engine returns the campaign's resolved engine (nil while queued).
+func (c *Campaign) Engine() *effitest.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng
+}
+
+// Cancel stops the campaign: chips not yet dispatched to the pool get an
+// ErrCampaignCancelled result immediately, in-flight chips are aborted
+// through their context and deliver promptly, and the campaign settles as
+// Cancelled. Cancelling a terminal campaign is a no-op.
+func (c *Campaign) Cancel() {
+	c.cancel()
+	c.m.mu.Lock()
+	c.m.dropActiveLocked(c)
+	start := c.nextDispatch
+	c.nextDispatch = 1 << 30
+	c.m.mu.Unlock()
+
+	c.mu.Lock()
+	c.settleLocked(start, ErrCampaignCancelled)
+	c.mu.Unlock()
+}
+
+// settleLocked abandons every unresolved chip from start on with err and
+// settles the campaign as Cancelled; a no-op when already terminal.
+// In-flight chips (indices below start without a result) still deliver
+// afterwards — the finished stamp lands when the last one does, or here
+// when nothing is left in flight. Called with c.mu held.
+func (c *Campaign) settleLocked(start int, err error) {
+	if c.state.Terminal() {
+		return
+	}
+	c.cancelled = true
+	c.fillFromLocked(start, err)
+	c.state = StateCancelled
+	// A campaign with no population (cancelled mid-prepare) settles here;
+	// one with in-flight chips gets its stamp from the last deliver.
+	if (c.results == nil || c.completed == len(c.results)) && c.finished.IsZero() {
+		c.finished = time.Now()
+	}
+	c.cond.Broadcast()
+}
+
+// fillFromLocked tags every unresolved chip from start on with err. Called
+// with c.mu held, after the manager stopped dispatching this campaign, so
+// indices < start are either delivered or in flight (and will deliver
+// themselves).
+func (c *Campaign) fillFromLocked(start int, err error) {
+	for i := start; i < len(c.results); i++ {
+		if c.results[i] == nil {
+			c.results[i] = &effitest.ChipResult{Index: i, Chip: c.chips[i], Err: err}
+			c.completed++
+			c.failed++
+		}
+	}
+}
+
+// Results streams the campaign's per-chip results strictly in input order,
+// blocking until each next result exists — so a consumer can attach while
+// the campaign runs (or long after it finished) and always observes the
+// exact sequence Engine.RunChips would have produced. Every attached
+// consumer gets the full stream; cancelling ctx detaches this consumer
+// only. A campaign that failed before resolving its population yields
+// nothing (see Status.Err).
+func (c *Campaign) Results(ctx context.Context) iter.Seq[effitest.ChipResult] {
+	return func(yieldFn func(effitest.ChipResult) bool) {
+		stop := context.AfterFunc(ctx, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+		defer stop()
+		for i := 0; ; i++ {
+			c.mu.Lock()
+			for {
+				if ctx.Err() != nil {
+					c.mu.Unlock()
+					return
+				}
+				if c.results != nil && i >= len(c.results) {
+					c.mu.Unlock()
+					return
+				}
+				if c.results != nil && c.results[i] != nil {
+					break
+				}
+				if c.state.Terminal() && c.results == nil {
+					c.mu.Unlock()
+					return
+				}
+				c.cond.Wait()
+			}
+			res := *c.results[i]
+			c.mu.Unlock()
+			if !yieldFn(res) {
+				return
+			}
+		}
+	}
+}
+
+// Wait blocks until the campaign settles — terminal state with every chip
+// resolved — and returns the final status. Cancelling ctx abandons the
+// wait with its error; the campaign itself is unaffected.
+func (c *Campaign) Wait(ctx context.Context) (Status, error) {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	for !(c.state.Terminal() && (c.results == nil || c.completed == len(c.results))) {
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return Status{}, err
+		}
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	return c.Status(), nil
+}
+
+// prepare resolves the campaign's engine (through the registry unless the
+// spec carries a plan) and population, then hands the campaign to the
+// dispatcher. Runs once, asynchronously, per Submit.
+func (c *Campaign) prepare(spec CampaignSpec) {
+	defer c.m.prepWG.Done()
+	var eng *effitest.Engine
+	var err error
+	if spec.Plan != nil {
+		opts := append(slices.Clone(spec.Options), effitest.WithPlan(spec.Plan))
+		eng, err = effitest.NewCtx(c.ctx, spec.Circuit, opts...)
+	} else {
+		eng, err = c.m.reg.Engine(c.ctx, spec.Circuit, spec.Options...)
+	}
+	if err != nil {
+		c.failPrep(err)
+		return
+	}
+	chips := spec.Chips
+	if chips == nil {
+		if chips, err = eng.SampleChips(c.ctx, spec.ChipSeed, spec.ChipCount); err != nil {
+			c.failPrep(err)
+			return
+		}
+	}
+	c.mu.Lock()
+	if c.state.Terminal() {
+		c.mu.Unlock()
+		return
+	}
+	c.eng = eng
+	c.chips = chips
+	c.results = make([]*effitest.ChipResult, len(chips))
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.m.enqueue(c)
+}
+
+// failPrep marks a campaign that never reached the pool as failed (or
+// cancelled, when the failure was its own cancellation).
+func (c *Campaign) failPrep(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state.Terminal() {
+		return
+	}
+	if c.cancelled || c.ctx.Err() != nil {
+		c.state = StateCancelled
+	} else {
+		c.state = StateFailed
+	}
+	c.err = err
+	c.finished = time.Now()
+	c.cond.Broadcast()
+}
+
+// run executes one chip on the caller's (worker) goroutine and delivers
+// its result.
+func (c *Campaign) run(idx int) {
+	c.mu.Lock()
+	if c.state == StateQueued {
+		c.state = StateRunning
+		c.started = time.Now()
+	}
+	ch := c.chips[idx]
+	eng := c.eng
+	c.mu.Unlock()
+
+	res := effitest.ChipResult{Index: idx, Chip: ch}
+	if err := c.ctx.Err(); err != nil {
+		res.Err = err
+	} else {
+		res.Outcome, res.Err = eng.RunChip(c.ctx, ch)
+	}
+	c.deliver(res)
+}
+
+// deliver records one chip result, folds it into the streaming aggregate
+// and settles the campaign when it was the last one.
+func (c *Campaign) deliver(res effitest.ChipResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.results[res.Index] != nil {
+		return
+	}
+	c.results[res.Index] = &res
+	c.completed++
+	if res.Err != nil {
+		c.failed++
+	} else {
+		c.agg.Observe(res.Outcome)
+	}
+	if c.completed == len(c.results) {
+		switch {
+		case c.cancelled:
+			c.state = StateCancelled
+		default:
+			c.state = StateDone
+		}
+		if c.finished.IsZero() {
+			c.finished = time.Now()
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// job is one (campaign, chip index) unit of pool work.
+type job struct {
+	c   *Campaign
+	idx int
+}
+
+// Manager owns the shared execution resources of a fleet service: the
+// engine registry, a bounded worker pool, and the campaign table. One
+// Manager serves many concurrent campaigns over many circuits.
+type Manager struct {
+	reg     *Registry
+	workers int
+	plans   *PlanStore
+
+	jobs           chan job
+	wake           chan struct{}
+	stop           chan struct{}
+	dispatcherDone chan struct{}
+	workerWG       sync.WaitGroup
+	prepWG         sync.WaitGroup
+	shutdownOnce   sync.Once
+	drained        chan struct{} // closed once the first Shutdown finishes draining
+
+	mu        sync.Mutex
+	closed    bool
+	nextID    int
+	campaigns map[string]*Campaign
+	order     []*Campaign
+	active    []*Campaign // campaigns with undispatched chips, round-robin
+	rr        int
+}
+
+// ManagerOption configures a Manager at construction time.
+type ManagerOption func(*Manager) error
+
+// WithWorkers bounds the shared chip-execution pool (0, the default, means
+// one worker per logical CPU).
+func WithWorkers(n int) ManagerOption {
+	return func(m *Manager) error {
+		if n < 0 {
+			return fmt.Errorf("fleet: worker count must be non-negative, got %d", n)
+		}
+		m.workers = n
+		return nil
+	}
+}
+
+// WithRegistry substitutes a pre-built engine registry (shared with other
+// managers, or configured via NewRegistry options).
+func WithRegistry(r *Registry) ManagerOption {
+	return func(m *Manager) error {
+		m.reg = r
+		return nil
+	}
+}
+
+// WithManagerPlanCache is shorthand for a default registry backed by the
+// plan-cache directory at dir.
+func WithManagerPlanCache(dir string) ManagerOption {
+	return func(m *Manager) error {
+		r, err := NewRegistry(WithPlanCacheDir(dir))
+		if err != nil {
+			return err
+		}
+		m.reg = r
+		return nil
+	}
+}
+
+// NewManager builds a campaign manager and starts its dispatcher and
+// worker pool. Shut it down with Shutdown.
+func NewManager(opts ...ManagerOption) (*Manager, error) {
+	m := &Manager{
+		plans:          NewPlanStore(),
+		wake:           make(chan struct{}, 1),
+		stop:           make(chan struct{}),
+		dispatcherDone: make(chan struct{}),
+		drained:        make(chan struct{}),
+		campaigns:      map[string]*Campaign{},
+	}
+	for _, o := range opts {
+		if err := o(m); err != nil {
+			return nil, err
+		}
+	}
+	if m.reg == nil {
+		r, err := NewRegistry()
+		if err != nil {
+			return nil, err
+		}
+		m.reg = r
+	}
+	w := pool.Resolve(m.workers)
+	m.workers = w
+	m.jobs = make(chan job, w)
+	m.workerWG.Add(w)
+	for i := 0; i < w; i++ {
+		go m.worker()
+	}
+	go m.dispatch()
+	return m, nil
+}
+
+// Registry returns the manager's engine registry.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Plans returns the manager's content-addressed plan-artifact store.
+func (m *Manager) Plans() *PlanStore { return m.plans }
+
+// Workers returns the resolved size of the shared worker pool.
+func (m *Manager) Workers() int { return m.workers }
+
+// Submit registers a campaign and returns immediately; engine resolution
+// (possibly a cold Prepare), chip sampling and execution all happen
+// asynchronously. Watch it with Status, Results or Wait.
+func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
+	if spec.Circuit == nil {
+		return nil, fmt.Errorf("fleet: campaign needs a circuit")
+	}
+	if spec.Chips == nil && spec.ChipCount <= 0 {
+		return nil, fmt.Errorf("fleet: campaign needs chips (explicit, or a positive ChipCount)")
+	}
+	if spec.Chips != nil && len(spec.Chips) == 0 {
+		return nil, fmt.Errorf("fleet: campaign chip population is empty")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Campaign{
+		name:      spec.Name,
+		m:         m,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	c.cond = sync.NewCond(&c.mu)
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrManagerClosed
+	}
+	m.nextID++
+	c.id = fmt.Sprintf("c%06d", m.nextID)
+	m.campaigns[c.id] = c
+	m.order = append(m.order, c)
+	m.prepWG.Add(1)
+	m.mu.Unlock()
+
+	go c.prepare(spec)
+	return c, nil
+}
+
+// Campaign looks a campaign up by ID.
+func (m *Manager) Campaign(id string) (*Campaign, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.campaigns[id]
+	return c, ok
+}
+
+// Campaigns lists every campaign in submission order.
+func (m *Manager) Campaigns() []*Campaign {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return slices.Clone(m.order)
+}
+
+// enqueue hands a prepared campaign to the dispatcher.
+func (m *Manager) enqueue(c *Campaign) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		c.mu.Lock()
+		c.settleLocked(0, ErrManagerClosed)
+		c.mu.Unlock()
+		return
+	}
+	m.active = append(m.active, c)
+	m.mu.Unlock()
+	m.wakeDispatcher()
+}
+
+func (m *Manager) wakeDispatcher() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dropActiveLocked removes c from the round-robin set. Caller holds m.mu.
+func (m *Manager) dropActiveLocked(c *Campaign) {
+	for i, other := range m.active {
+		if other == c {
+			m.active = slices.Delete(m.active, i, i+1)
+			if m.rr > i {
+				m.rr--
+			}
+			return
+		}
+	}
+}
+
+// nextJob picks the next (campaign, chip) pair round-robin across active
+// campaigns — one chip per campaign per turn, so campaigns share the pool
+// fairly regardless of size.
+func (m *Manager) nextJob() (job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.active) > 0 {
+		if m.rr >= len(m.active) {
+			m.rr = 0
+		}
+		c := m.active[m.rr]
+		c.mu.Lock()
+		n := len(c.chips)
+		c.mu.Unlock()
+		if c.nextDispatch >= n {
+			m.dropActiveLocked(c)
+			continue
+		}
+		j := job{c: c, idx: c.nextDispatch}
+		c.nextDispatch++
+		if c.nextDispatch >= n {
+			m.dropActiveLocked(c)
+		} else {
+			m.rr++
+		}
+		return j, true
+	}
+	return job{}, false
+}
+
+// dispatch is the scheduling loop: it feeds the shared pool one fairly
+// chosen job at a time and parks when no campaign has undispatched chips.
+func (m *Manager) dispatch() {
+	defer close(m.dispatcherDone)
+	for {
+		j, ok := m.nextJob()
+		if !ok {
+			select {
+			case <-m.wake:
+				continue
+			case <-m.stop:
+				return
+			}
+		}
+		select {
+		case m.jobs <- j:
+		case <-m.stop:
+			// The picked job never reached a worker; resolve it here so the
+			// campaign still settles with a full result set.
+			j.c.mu.Lock()
+			ch := j.c.chips[j.idx]
+			j.c.mu.Unlock()
+			j.c.deliver(effitest.ChipResult{Index: j.idx, Chip: ch, Err: ErrManagerClosed})
+			return
+		}
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.workerWG.Done()
+	for j := range m.jobs {
+		j.c.run(j.idx)
+	}
+}
+
+// Shutdown drains the manager: no new campaigns are accepted, undispatched
+// chips across all campaigns resolve to ErrManagerClosed results, and the
+// call blocks until in-flight chips finish and every pool goroutine exits.
+// If ctx expires first, the in-flight chips are hard-cancelled through
+// their campaign contexts (they abort within one tester iteration) and
+// Shutdown keeps waiting for the goroutines, returning the context's
+// error. Shutdown is idempotent: one caller performs the drain, later and
+// concurrent calls wait for it (or their own context).
+func (m *Manager) Shutdown(ctx context.Context) error {
+	first := false
+	m.shutdownOnce.Do(func() {
+		first = true
+		close(m.stop)
+	})
+	if !first {
+		select {
+		case <-m.drained:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	defer close(m.drained)
+
+	m.mu.Lock()
+	m.closed = true
+	actives := slices.Clone(m.order)
+	m.mu.Unlock()
+
+	<-m.dispatcherDone
+
+	// The dispatcher has stopped: nextDispatch values are frozen, so tag
+	// everything undispatched and cancel campaigns that never got chips.
+	for _, c := range actives {
+		m.mu.Lock()
+		start := c.nextDispatch
+		c.nextDispatch = 1 << 30
+		m.dropActiveLocked(c)
+		m.mu.Unlock()
+
+		c.mu.Lock()
+		switch {
+		case c.state.Terminal():
+		case c.results == nil:
+			// Still preparing: cancel the prep; failPrep settles it.
+			c.mu.Unlock()
+			c.cancel()
+			c.mu.Lock()
+			c.cond.Broadcast()
+		case start < len(c.results):
+			c.settleLocked(start, ErrManagerClosed)
+		}
+		// Fully dispatched campaigns are left to finish: their in-flight
+		// chips are exactly what the drain waits for.
+		c.mu.Unlock()
+	}
+
+	// One worker may be parked on the jobs channel; it drains queued jobs
+	// (they execute — those chips were already dispatched) and exits on
+	// close. The dispatcher was the only sender.
+	close(m.jobs)
+
+	done := make(chan struct{})
+	go func() {
+		m.workerWG.Wait()
+		m.prepWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, c := range actives {
+			c.cancel()
+		}
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,402 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"effitest"
+)
+
+// outcomesEqual compares everything except wall-clock durations.
+func outcomesEqual(a, b *effitest.ChipOutcome) bool {
+	return a.Iterations == b.Iterations &&
+		a.ScanBits == b.ScanBits &&
+		a.Configured == b.Configured &&
+		a.Passed == b.Passed &&
+		a.Xi == b.Xi &&
+		reflect.DeepEqual(a.X, b.X) &&
+		reflect.DeepEqual(a.Bounds.Lo, b.Bounds.Lo) &&
+		reflect.DeepEqual(a.Bounds.Hi, b.Bounds.Hi)
+}
+
+func newTestManager(t *testing.T, opts ...ManagerOption) *Manager {
+	t.Helper()
+	m, err := NewManager(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Shutdown(context.Background()) })
+	return m
+}
+
+// A campaign's streamed results and aggregate stats must be bit-identical
+// to running the same chips through Engine.RunChips in process.
+func TestCampaignMatchesEngineRunChips(t *testing.T) {
+	m := newTestManager(t, WithWorkers(4))
+	c := tinyCircuit(t, "match", 3)
+	ctx := context.Background()
+
+	camp, err := m.Submit(CampaignSpec{
+		Name: "lot-1", Circuit: c, Options: fastOpts(),
+		ChipSeed: 11, ChipCount: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := camp.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state %s, err %v", st.State, st.Err)
+	}
+
+	eng, err := effitest.New(c, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips, err := eng.SampleChips(ctx, 11, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for res := range camp.Results(ctx) {
+		if res.Err != nil {
+			t.Fatalf("chip %d: %v", res.Index, res.Err)
+		}
+		if res.Index != i {
+			t.Fatalf("results out of order: got index %d at position %d", res.Index, i)
+		}
+		want, err := eng.RunChip(ctx, chips[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !outcomesEqual(res.Outcome, want) {
+			t.Fatalf("chip %d: campaign outcome differs from Engine.RunChip", i)
+		}
+		i++
+	}
+	if i != 10 {
+		t.Fatalf("streamed %d results, want 10", i)
+	}
+
+	want, err := eng.Yield(ctx, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.Stats
+	if got.Yield != want.Yield || got.AvgIterations != want.AvgIterations ||
+		got.AvgScanBits != want.AvgScanBits || got.ConfiguredFrac != want.ConfiguredFrac {
+		t.Fatalf("aggregate stats diverge:\ncampaign: %+v\nengine:   %+v", got, want)
+	}
+	// A consumer attaching after completion sees the identical full stream.
+	n := 0
+	for res := range camp.Results(ctx) {
+		if res.Index != n || res.Err != nil {
+			t.Fatalf("replayed stream corrupt at %d", n)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("replayed %d results, want 10", n)
+	}
+}
+
+// Two campaigns for the same (circuit, configuration) must share one
+// engine: exactly one Prepare no matter how many campaigns are in flight.
+func TestCampaignsShareOnePrepare(t *testing.T) {
+	m := newTestManager(t, WithWorkers(2))
+	c := tinyCircuit(t, "shared", 3)
+	ctx := context.Background()
+
+	var camps []*Campaign
+	for i := 0; i < 4; i++ {
+		camp, err := m.Submit(CampaignSpec{
+			Circuit: c, Options: fastOpts(),
+			ChipSeed: int64(100 + i), ChipCount: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		camps = append(camps, camp)
+	}
+	for _, camp := range camps {
+		if st, err := camp.Wait(ctx); err != nil || st.State != StateDone {
+			t.Fatalf("campaign %s: state %v err %v", camp.ID(), st.State, err)
+		}
+	}
+	if st := m.Registry().Stats(); st.Prepares != 1 {
+		t.Fatalf("expected exactly 1 Prepare across 4 concurrent campaigns, got %d", st.Prepares)
+	}
+	a, b := camps[0].Engine(), camps[1].Engine()
+	if a == nil || a != b {
+		t.Fatal("campaigns did not share the registry engine")
+	}
+}
+
+// The dispatcher's pick order must interleave one chip per campaign per
+// turn — exercised white-box on nextJob, which owns the round-robin.
+func TestNextJobRoundRobin(t *testing.T) {
+	a := &Campaign{id: "a", chips: make([]*effitest.Chip, 3)}
+	b := &Campaign{id: "b", chips: make([]*effitest.Chip, 5)}
+	m := &Manager{active: []*Campaign{a, b}}
+
+	var order []string
+	for {
+		j, ok := m.nextJob()
+		if !ok {
+			break
+		}
+		order = append(order, j.c.id)
+	}
+	want := []string{"a", "b", "a", "b", "a", "b", "b", "b"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+	if a.nextDispatch != 3 || b.nextDispatch != 5 {
+		t.Fatalf("dispatch counters %d/%d, want 3/5", a.nextDispatch, b.nextDispatch)
+	}
+}
+
+// Fair scheduling end to end: with one worker, a small campaign submitted
+// while a big one is mid-run still finishes first — round-robin shares the
+// pool instead of draining the big queue FIFO.
+func TestCampaignFairScheduling(t *testing.T) {
+	m := newTestManager(t, WithWorkers(1))
+	c := tinyCircuit(t, "fair", 3)
+	ctx := context.Background()
+
+	sb := &slowBackend{delay: 20 * time.Millisecond}
+	opts := fastOpts(effitest.WithBackend(sb))
+
+	big, err := m.Submit(CampaignSpec{Name: "big", Circuit: c, Options: opts, ChipSeed: 1, ChipCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the big campaign get rolling, then submit the small one.
+	for big.Status().ChipsDone < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	small, err := m.Submit(CampaignSpec{Name: "small", Circuit: c, Options: opts, ChipSeed: 2, ChipCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallSt, err := small.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallSt.State != StateDone {
+		t.Fatalf("small campaign state %s", smallSt.State)
+	}
+	if bigSt := big.Status(); bigSt.State == StateDone {
+		t.Fatal("big campaign finished before the small one — scheduling is FIFO, not fair")
+	}
+	if st, err := big.Wait(ctx); err != nil || st.State != StateDone {
+		t.Fatalf("big campaign: %v %v", st.State, err)
+	}
+}
+
+// slowBackend stretches every session open so cancellation reliably lands
+// mid-campaign.
+type slowBackend struct {
+	delay time.Duration
+	opens atomic.Int64
+	inner effitest.SimBackend
+}
+
+func (s *slowBackend) Open(ch *effitest.Chip, resolution float64) (effitest.Session, error) {
+	s.opens.Add(1)
+	time.Sleep(s.delay)
+	return s.inner.Open(ch, resolution)
+}
+
+// Cancelling a running campaign must drain without wedging: every chip
+// resolves (outcome, context error, or ErrCampaignCancelled), the state
+// settles as Cancelled, and the manager keeps serving other campaigns.
+func TestCampaignCancelDrains(t *testing.T) {
+	m := newTestManager(t, WithWorkers(2))
+	c := tinyCircuit(t, "cancel", 3)
+	ctx := context.Background()
+
+	sb := &slowBackend{delay: 20 * time.Millisecond}
+	camp, err := m.Submit(CampaignSpec{
+		Circuit: c, Options: fastOpts(effitest.WithBackend(sb)),
+		ChipSeed: 5, ChipCount: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a few chips through, then cancel mid-flight.
+	for camp.Status().ChipsDone < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	camp.Cancel()
+
+	st, err := camp.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+	if st.ChipsDone != 40 {
+		t.Fatalf("campaign did not drain: %d/40 chips resolved", st.ChipsDone)
+	}
+	var ok, cancelled int
+	for res := range camp.Results(ctx) {
+		switch {
+		case res.Err == nil:
+			ok++
+		case errors.Is(res.Err, ErrCampaignCancelled) || errors.Is(res.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("chip %d: unexpected error %v", res.Index, res.Err)
+		}
+	}
+	if ok == 0 || cancelled == 0 {
+		t.Fatalf("expected a mix of outcomes and cancellations, got %d ok / %d cancelled", ok, cancelled)
+	}
+
+	// The pool is still healthy: a follow-up campaign completes.
+	after, err := m.Submit(CampaignSpec{Circuit: c, Options: fastOpts(), ChipSeed: 6, ChipCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := after.Wait(ctx); err != nil || st.State != StateDone {
+		t.Fatalf("post-cancel campaign: %v %v", st.State, err)
+	}
+}
+
+// Shutdown mid-campaign drains in-flight chips, resolves the rest with
+// ErrManagerClosed, and leaks no goroutines.
+func TestManagerShutdownMidCampaignNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	m, err := NewManager(WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tinyCircuit(t, "shutdown", 3)
+	sb := &slowBackend{delay: 20 * time.Millisecond}
+	camp, err := m.Submit(CampaignSpec{
+		Circuit: c, Options: fastOpts(effitest.WithBackend(sb)),
+		ChipSeed: 5, ChipCount: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for camp.Status().ChipsDone < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	st := camp.Status()
+	if st.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+	if st.ChipsDone != 50 {
+		t.Fatalf("shutdown did not settle the campaign: %d/50", st.ChipsDone)
+	}
+	sawClosed := false
+	for res := range camp.Results(context.Background()) {
+		if errors.Is(res.Err, ErrManagerClosed) {
+			sawClosed = true
+		}
+	}
+	if !sawClosed {
+		t.Fatal("expected undispatched chips to carry ErrManagerClosed")
+	}
+	if _, err := m.Submit(CampaignSpec{Circuit: c, ChipCount: 1}); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("submit after shutdown: %v", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked across shutdown: %d -> %d", before, now)
+	}
+}
+
+// Shutdown is idempotent: sequential and concurrent repeat calls wait for
+// the one drain instead of panicking on re-closed channels.
+func TestManagerShutdownIdempotent(t *testing.T) {
+	m, err := NewManager(WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tinyCircuit(t, "idem", 3)
+	camp, err := m.Submit(CampaignSpec{Circuit: c, Options: fastOpts(), ChipSeed: 5, ChipCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.Shutdown(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := camp.Status(); !st.State.Terminal() {
+		t.Fatalf("campaign not settled after shutdown: %s", st.State)
+	}
+}
+
+// A campaign cancelled before its population resolves still settles with
+// a terminal state and a finish timestamp.
+func TestCampaignCancelDuringPrepStamps(t *testing.T) {
+	m := newTestManager(t)
+	c := tinyCircuit(t, "prepcancel", 3)
+	camp, err := m.Submit(CampaignSpec{Circuit: c, Options: fastOpts(), ChipSeed: 5, ChipCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.Cancel()
+	st, err := camp.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.State.Terminal() {
+		t.Fatalf("state %s not terminal", st.State)
+	}
+	if st.FinishedAt.IsZero() {
+		t.Fatal("terminal campaign has no finish timestamp")
+	}
+}
+
+// A campaign whose engine construction fails settles as Failed with the
+// error surfaced in Status, and streams no results.
+func TestCampaignPrepFailure(t *testing.T) {
+	m := newTestManager(t)
+	c := tinyCircuit(t, "prepfail", 3)
+	camp, err := m.Submit(CampaignSpec{Circuit: c, Options: []effitest.Option{effitest.WithEpsilon(-4)}, ChipCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := camp.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || st.Err == nil {
+		t.Fatalf("state %s err %v, want failed with error", st.State, st.Err)
+	}
+	for range camp.Results(context.Background()) {
+		t.Fatal("failed campaign must stream no results")
+	}
+}

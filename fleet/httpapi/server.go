@@ -1,0 +1,224 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"effitest/fleet"
+)
+
+// maxPlanUpload bounds plan-artifact request bodies (the largest Table-1
+// benchmark plan is a few MB; 64 MB leaves generous headroom).
+const maxPlanUpload = 64 << 20
+
+// Server serves the fleet API over HTTP. Build it with New and mount it as
+// an http.Handler; it holds no per-request state of its own, so one Server
+// serves any number of concurrent connections.
+type Server struct {
+	m   *fleet.Manager
+	mux *http.ServeMux
+}
+
+// New builds the HTTP surface over a campaign manager.
+func New(m *fleet.Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("POST /v1/campaigns", s.submit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.list)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/results", s.results)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/aggregate", s.aggregate)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.cancel)
+	s.mux.HandleFunc("POST /v1/plans", s.uploadPlan)
+	s.mux.HandleFunc("GET /v1/plans", s.listPlans)
+	s.mux.HandleFunc("GET /v1/plans/{id}", s.downloadPlan)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	rs := s.m.Registry().Stats()
+	writeJSON(w, http.StatusOK, Health{
+		Status:    "ok",
+		Workers:   s.m.Workers(),
+		Campaigns: len(s.m.Campaigns()),
+		Engines:   rs.Live,
+		Prepares:  rs.Prepares,
+	})
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPlanUpload)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding campaign request: %w", err))
+		return
+	}
+	c, err := req.Circuit.Build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Config.Options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := fleet.CampaignSpec{
+		Name:      req.Name,
+		Circuit:   c,
+		Options:   opts,
+		ChipSeed:  req.Chips.Seed,
+		ChipCount: req.Chips.Count,
+	}
+	if req.PlanID != "" {
+		pl, ok, err := s.m.Plans().Decode(req.PlanID)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown plan %q", req.PlanID))
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		spec.Plan = pl
+	}
+	camp, err := s.m.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, fleet.ErrManagerClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, StatusWire(camp.Status()))
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	camps := s.m.Campaigns()
+	out := make([]CampaignStatus, 0, len(camps))
+	for _, c := range camps {
+		out = append(out, StatusWire(c.Status()))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*fleet.Campaign, bool) {
+	id := r.PathValue("id")
+	c, ok := s.m.Campaign(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	if c, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, StatusWire(c.Status()))
+	}
+}
+
+// aggregate serves the campaign's deterministic aggregate as canonical
+// indented JSON with a trailing newline — a stable byte format that CI
+// jobs diff directly against golden files. It waits for the campaign to
+// settle so the aggregate is final.
+func (s *Server) aggregate(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st, err := c.Wait(r.Context())
+	if err != nil {
+		writeError(w, http.StatusRequestTimeout, err)
+		return
+	}
+	ws := StatusWire(st)
+	if ws.Aggregate == nil {
+		ws.Aggregate = &Aggregate{}
+	}
+	writeJSON(w, http.StatusOK, ws.Aggregate)
+}
+
+// results streams the campaign's per-chip results as NDJSON in input
+// order, flushing per line; the stream stays open until every chip has
+// resolved (or the client disconnects).
+func (s *Server) results(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for res := range c.Results(r.Context()) {
+		if err := enc.Encode(ResultWire(res)); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	c.Cancel()
+	writeJSON(w, http.StatusOK, StatusWire(c.Status()))
+}
+
+func (s *Server) uploadPlan(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPlanUpload))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading plan artifact: %w", err))
+		return
+	}
+	id, err := s.m.Plans().Put(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, PlanRef{ID: id})
+}
+
+func (s *Server) listPlans(w http.ResponseWriter, r *http.Request) {
+	ids := s.m.Plans().IDs()
+	out := make([]PlanRef, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, PlanRef{ID: id})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) downloadPlan(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, ok := s.m.Plans().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown plan %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}

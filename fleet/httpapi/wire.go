@@ -1,0 +1,290 @@
+// Package httpapi defines the HTTP/JSON surface of effitestd — the wire
+// types shared by the server and the Go client (package fleet/client) —
+// and the server implementation over a fleet.Manager.
+//
+// The API is deliberately small and deterministic:
+//
+//	GET    /healthz                      liveness + pool/registry gauges
+//	POST   /v1/campaigns                 submit a campaign (async; 202)
+//	GET    /v1/campaigns                 list campaign statuses
+//	GET    /v1/campaigns/{id}            one campaign status
+//	GET    /v1/campaigns/{id}/results    NDJSON result stream, input order
+//	GET    /v1/campaigns/{id}/aggregate  canonical aggregate JSON
+//	DELETE /v1/campaigns/{id}            cancel
+//	POST   /v1/plans                     upload a plan artifact (binary/JSON)
+//	GET    /v1/plans                     list stored artifact ids
+//	GET    /v1/plans/{id}                download an artifact
+//
+// Every per-chip field served on the wire is deterministic (Go's JSON
+// float encoding round-trips exactly), so a campaign served over loopback
+// is bit-identical to an in-process Engine.RunChips run — the conformance
+// suite pins that.
+package httpapi
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"effitest"
+	"effitest/fleet"
+)
+
+// CampaignRequest submits one campaign.
+type CampaignRequest struct {
+	// Name is a free-form label.
+	Name string `json:"name,omitempty"`
+	// Circuit selects or inlines the circuit under test.
+	Circuit CircuitSpec `json:"circuit"`
+	// Config layers flow parameters over the paper defaults.
+	Config ConfigSpec `json:"config"`
+	// Chips picks the deterministic chip population.
+	Chips ChipSpec `json:"chips"`
+	// PlanID references a previously uploaded plan artifact; the campaign's
+	// engine is then built from the artifact instead of running Prepare.
+	PlanID string `json:"plan_id,omitempty"`
+}
+
+// CircuitSpec names a circuit three ways: a Table-1 benchmark profile, a
+// custom synthetic profile, or an inline netlist (the text form produced by
+// effitest.WriteNetlist). Exactly one must be set.
+type CircuitSpec struct {
+	Profile string         `json:"profile,omitempty"`
+	Custom  *CustomProfile `json:"custom,omitempty"`
+	Netlist string         `json:"netlist,omitempty"`
+	// GenSeed seeds the benchmark generator (profile and custom forms).
+	GenSeed int64 `json:"gen_seed,omitempty"`
+}
+
+// CustomProfile is a synthetic benchmark profile (effitest.NewProfile).
+type CustomProfile struct {
+	Name    string `json:"name"`
+	FFs     int    `json:"ffs"`
+	Gates   int    `json:"gates"`
+	Buffers int    `json:"buffers"`
+	Paths   int    `json:"paths"`
+}
+
+// Build materializes the circuit.
+func (cs CircuitSpec) Build() (*effitest.Circuit, error) {
+	set := 0
+	for _, ok := range []bool{cs.Profile != "", cs.Custom != nil, cs.Netlist != ""} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("circuit: exactly one of profile, custom or netlist must be set")
+	}
+	switch {
+	case cs.Netlist != "":
+		return effitest.ParseNetlist(strings.NewReader(cs.Netlist))
+	case cs.Custom != nil:
+		p := effitest.NewProfile(cs.Custom.Name, cs.Custom.FFs, cs.Custom.Gates, cs.Custom.Buffers, cs.Custom.Paths)
+		return effitest.Generate(p, cs.GenSeed)
+	default:
+		p, ok := effitest.ProfileByName(cs.Profile)
+		if !ok {
+			return nil, fmt.Errorf("circuit: unknown profile %q", cs.Profile)
+		}
+		return effitest.Generate(p, cs.GenSeed)
+	}
+}
+
+// ConfigSpec maps the engine's functional options onto JSON. Zero values
+// mean "paper default".
+type ConfigSpec struct {
+	// Align selects the §3.3 alignment solver: heuristic | fast-milp |
+	// paper-ilp | off.
+	Align string `json:"align,omitempty"`
+	// Eps is the delay-range termination threshold in ns.
+	Eps float64 `json:"eps,omitempty"`
+	// Seed is the master random seed.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxBatch caps test batch sizes.
+	MaxBatch int `json:"max_batch,omitempty"`
+	// Period pins the test clock period Td in ns; when 0, the period is
+	// calibrated as the Quantile-quantile over CalibChips Monte-Carlo
+	// chips (defaults: the paper's T2 = 0.8413 over 2000).
+	Period     float64 `json:"period,omitempty"`
+	Quantile   float64 `json:"quantile,omitempty"`
+	CalibChips int     `json:"calib_chips,omitempty"`
+}
+
+// Options translates the spec into engine options.
+func (cf ConfigSpec) Options() ([]effitest.Option, error) {
+	var opts []effitest.Option
+	switch strings.ToLower(cf.Align) {
+	case "":
+	case "heuristic":
+		opts = append(opts, effitest.WithAlignMode(effitest.AlignHeuristic))
+	case "fast-milp":
+		opts = append(opts, effitest.WithAlignMode(effitest.AlignFastMILP))
+	case "paper-ilp":
+		opts = append(opts, effitest.WithAlignMode(effitest.AlignPaperILP))
+	case "off":
+		opts = append(opts, effitest.WithAlignMode(effitest.AlignOff))
+	default:
+		return nil, fmt.Errorf("config: unknown align mode %q", cf.Align)
+	}
+	if cf.Eps != 0 {
+		opts = append(opts, effitest.WithEpsilon(cf.Eps))
+	}
+	if cf.Seed != 0 {
+		opts = append(opts, effitest.WithSeed(cf.Seed))
+	}
+	if cf.MaxBatch != 0 {
+		opts = append(opts, effitest.WithMaxBatch(cf.MaxBatch))
+	}
+	switch {
+	case cf.Period != 0:
+		opts = append(opts, effitest.WithPeriod(cf.Period))
+	case cf.Quantile != 0:
+		calib := cf.CalibChips
+		if calib == 0 {
+			calib = 2000
+		}
+		opts = append(opts, effitest.WithPeriodQuantile(cf.Quantile, calib))
+	case cf.CalibChips != 0:
+		opts = append(opts, effitest.WithPeriodQuantile(0.8413, cf.CalibChips))
+	}
+	return opts, nil
+}
+
+// ChipSpec is the deterministic chip population: chips 0..Count-1 sampled
+// in (Seed, index) from the engine's circuit.
+type ChipSpec struct {
+	Seed  int64 `json:"seed"`
+	Count int   `json:"count"`
+}
+
+// CampaignStatus is one campaign's snapshot on the wire.
+type CampaignStatus struct {
+	ID           string     `json:"id"`
+	Name         string     `json:"name,omitempty"`
+	State        string     `json:"state"`
+	ChipsTotal   int        `json:"chips_total"`
+	ChipsDone    int        `json:"chips_done"`
+	ChipsPassed  int        `json:"chips_passed"`
+	ChipsFailed  int        `json:"chips_failed"`
+	RunningYield float64    `json:"running_yield"`
+	Period       float64    `json:"period,omitempty"`
+	Error        string     `json:"error,omitempty"`
+	Aggregate    *Aggregate `json:"aggregate,omitempty"`
+	SubmittedAt  time.Time  `json:"submitted_at"`
+	StartedAt    *time.Time `json:"started_at,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+}
+
+// Aggregate is the campaign's streaming aggregate over error-free chip
+// outcomes. Every field is deterministic (wall-clock solver times are
+// deliberately excluded), so it diffs exactly against golden files and
+// against an in-process run.
+type Aggregate struct {
+	Chips          int     `json:"chips"`
+	Yield          float64 `json:"yield"`
+	AvgIterations  float64 `json:"avg_iterations"`
+	AvgScanBits    float64 `json:"avg_scan_bits"`
+	ConfiguredFrac float64 `json:"configured_frac"`
+}
+
+// ChipResult is one per-chip result on the NDJSON stream. All fields are
+// deterministic; wall-clock durations are excluded.
+type ChipResult struct {
+	// Index is the chip's position in the campaign population; results
+	// stream in ascending Index.
+	Index int `json:"index"`
+	// ChipIndex is the manufacturing index (ChipSpec sampling).
+	ChipIndex  int       `json:"chip_index"`
+	Iterations int       `json:"iterations,omitempty"`
+	ScanBits   int64     `json:"scan_bits,omitempty"`
+	Configured bool      `json:"configured,omitempty"`
+	Passed     bool      `json:"passed,omitempty"`
+	Xi         float64   `json:"xi,omitempty"`
+	X          []float64 `json:"x,omitempty"`
+	// BoundsLoSum / BoundsHiSum summarize the final per-path delay windows
+	// (the full arrays are large; the sums still pin every bit of drift).
+	BoundsLoSum float64 `json:"bounds_lo_sum,omitempty"`
+	BoundsHiSum float64 `json:"bounds_hi_sum,omitempty"`
+	// Error is the per-chip failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status    string `json:"status"`
+	Workers   int    `json:"workers"`
+	Campaigns int    `json:"campaigns"`
+	// Engines / Prepares mirror the registry gauges: live engines and cold
+	// offline Prepares since start.
+	Engines  int `json:"engines"`
+	Prepares int `json:"prepares"`
+}
+
+// PlanRef is the response to a plan upload and the element of plan lists.
+type PlanRef struct {
+	ID string `json:"id"`
+}
+
+// StatusWire converts a fleet.Status to its wire form.
+func StatusWire(st fleet.Status) CampaignStatus {
+	ws := CampaignStatus{
+		ID:           st.ID,
+		Name:         st.Name,
+		State:        string(st.State),
+		ChipsTotal:   st.ChipsTotal,
+		ChipsDone:    st.ChipsDone,
+		ChipsPassed:  st.ChipsPassed,
+		ChipsFailed:  st.ChipsFailed,
+		RunningYield: st.RunningYield,
+		Period:       st.Period,
+		SubmittedAt:  st.SubmittedAt,
+	}
+	if st.Err != nil {
+		ws.Error = st.Err.Error()
+	}
+	if !st.StartedAt.IsZero() {
+		t := st.StartedAt
+		ws.StartedAt = &t
+	}
+	if !st.FinishedAt.IsZero() {
+		t := st.FinishedAt
+		ws.FinishedAt = &t
+	}
+	if st.Stats != (effitest.ProposedStats{}) || st.State == fleet.StateDone {
+		ws.Aggregate = &Aggregate{
+			Chips:          st.ChipsDone - st.ChipsFailed,
+			Yield:          st.Stats.Yield,
+			AvgIterations:  st.Stats.AvgIterations,
+			AvgScanBits:    st.Stats.AvgScanBits,
+			ConfiguredFrac: st.Stats.ConfiguredFrac,
+		}
+	}
+	return ws
+}
+
+// ResultWire converts a per-chip result to its wire form.
+func ResultWire(r effitest.ChipResult) ChipResult {
+	w := ChipResult{Index: r.Index}
+	if r.Chip != nil {
+		w.ChipIndex = r.Chip.Index
+	}
+	if r.Err != nil {
+		w.Error = r.Err.Error()
+		return w
+	}
+	out := r.Outcome
+	w.Iterations = out.Iterations
+	w.ScanBits = out.ScanBits
+	w.Configured = out.Configured
+	w.Passed = out.Passed
+	w.Xi = out.Xi
+	w.X = out.X
+	if out.Bounds != nil {
+		for i := range out.Bounds.Lo {
+			w.BoundsLoSum += out.Bounds.Lo[i]
+			w.BoundsHiSum += out.Bounds.Hi[i]
+		}
+	}
+	return w
+}

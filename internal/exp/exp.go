@@ -41,8 +41,21 @@ type Config struct {
 	// content-addressed plan cache at this directory, so re-running tables
 	// and figures skips the per-circuit offline flow.
 	PlanCache string
+	// Observer, when non-nil, receives flow events (batch start/end,
+	// frequency steps, chip done) from the runners that execute the
+	// EffiTest flow: Table 1, Table 2 and Figure 7. The Figure 8 baselines
+	// measure through raw ATE sessions outside the flow and emit nothing
+	// (efftables prints its own per-circuit stage lines instead). The
+	// observer must be safe for concurrent use; it never changes the
+	// numbers. The CLIs wire -progress to it.
+	Observer core.Observer
 	// Core is the EffiTest flow configuration.
 	Core core.Config
+}
+
+// runOpts bundles the observer for the core flow calls.
+func (cfg Config) runOpts() core.RunOptions {
+	return core.RunOptions{Observer: cfg.Observer}
 }
 
 // preparePlan runs the offline flow for one circuit, going through the
@@ -126,7 +139,7 @@ func Table1(ctx context.Context, p circuit.Profile, cfg Config) (Table1Row, erro
 	costs := make([]chipCost, cfg.CostChips)
 	err = pool.ForEach(ctx, cfg.CostChips, cfg.Core.Workers, func(i int) error {
 		ch := tester.SampleChip(c, seed, i)
-		out, err := plan.RunChipCtx(ctx, ch, td)
+		out, err := plan.RunChipOpts(ctx, ch, td, cfg.runOpts())
 		if err != nil {
 			return err
 		}
@@ -213,7 +226,7 @@ func Table2(ctx context.Context, p circuit.Profile, cfg Config) (Table2Row, erro
 			return row, err
 		}
 		yi := 100 * yiFrac
-		st, err := yield.ProposedCtx(ctx, plan, chips, T)
+		st, err := yield.ProposedOpts(ctx, plan, chips, T, cfg.runOpts())
 		if err != nil {
 			return row, err
 		}
@@ -261,7 +274,7 @@ func Fig7(ctx context.Context, p circuit.Profile, cfg Config) (Fig7Row, error) {
 	if err != nil {
 		return Fig7Row{}, err
 	}
-	st, err := yield.ProposedCtx(ctx, plan, chips, t2)
+	st, err := yield.ProposedOpts(ctx, plan, chips, t2, cfg.runOpts())
 	if err != nil {
 		return Fig7Row{}, err
 	}

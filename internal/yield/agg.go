@@ -1,0 +1,73 @@
+package yield
+
+import (
+	"time"
+
+	"effitest/internal/core"
+)
+
+// Agg is a mergeable streaming aggregator over chip outcomes: every field is
+// an exact sum (integers and durations, never floating-point partials), so
+// sharded partial aggregates combine with Merge into exactly the aggregate a
+// single sequential pass would have produced — the property fleet campaigns
+// rely on when chips of one population are executed on different workers,
+// processes or shards.
+//
+// The zero value is ready to use. Agg is not safe for concurrent use; give
+// each shard its own Agg and Merge the shards afterwards (or serialize
+// Observe calls, as the campaign scheduler does).
+type Agg struct {
+	Chips      int   // outcomes observed
+	Passed     int   // final pass/fail test passed
+	Configured int   // a feasible buffer configuration was found
+	Iterations int   // total tester frequency steps
+	ScanBits   int64 // total configuration bits shifted
+
+	AlignDuration  time.Duration // summed Tt component
+	ConfigDuration time.Duration // summed Ts component
+}
+
+// Observe folds one chip outcome into the aggregate.
+func (a *Agg) Observe(out *core.ChipOutcome) {
+	a.Chips++
+	a.Iterations += out.Iterations
+	a.ScanBits += out.ScanBits
+	a.AlignDuration += out.AlignDuration
+	a.ConfigDuration += out.ConfigDuration
+	if out.Configured {
+		a.Configured++
+	}
+	if out.Passed {
+		a.Passed++
+	}
+}
+
+// Merge folds another shard's aggregate into a. Because every field is an
+// exact sum, Merge is associative and commutative: any partition of a chip
+// population into shards merges to the identical Agg.
+func (a *Agg) Merge(b Agg) {
+	a.Chips += b.Chips
+	a.Passed += b.Passed
+	a.Configured += b.Configured
+	a.Iterations += b.Iterations
+	a.ScanBits += b.ScanBits
+	a.AlignDuration += b.AlignDuration
+	a.ConfigDuration += b.ConfigDuration
+}
+
+// Stats finalizes the aggregate into the per-chip averages of ProposedStats.
+// With zero chips observed it returns the zero stats.
+func (a Agg) Stats() ProposedStats {
+	var st ProposedStats
+	if a.Chips == 0 {
+		return st
+	}
+	n := float64(a.Chips)
+	st.Yield = float64(a.Passed) / n
+	st.AvgIterations = float64(a.Iterations) / n
+	st.AvgScanBits = float64(a.ScanBits) / n
+	st.AvgAlignTime = time.Duration(float64(a.AlignDuration) / n)
+	st.AvgConfigTime = time.Duration(float64(a.ConfigDuration) / n)
+	st.ConfiguredFrac = float64(a.Configured) / n
+	return st
+}

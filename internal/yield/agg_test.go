@@ -1,0 +1,116 @@
+package yield
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"effitest/internal/core"
+)
+
+func randOutcome(r *rand.Rand) *core.ChipOutcome {
+	return &core.ChipOutcome{
+		Iterations:     r.Intn(500),
+		ScanBits:       int64(r.Intn(100000)),
+		AlignDuration:  time.Duration(r.Intn(1e6)),
+		ConfigDuration: time.Duration(r.Intn(1e6)),
+		Configured:     r.Intn(4) != 0,
+		Passed:         r.Intn(3) != 0,
+	}
+}
+
+// Any partition of an outcome stream into shards must merge to exactly the
+// aggregate of a single sequential pass — the campaign scheduler depends on
+// this when chips of one population complete on different workers.
+func TestAggShardedMergeExact(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	outs := make([]*core.ChipOutcome, 257)
+	for i := range outs {
+		outs[i] = randOutcome(r)
+	}
+	var whole Agg
+	for _, out := range outs {
+		whole.Observe(out)
+	}
+
+	for _, shards := range []int{1, 2, 3, 8, 64, len(outs)} {
+		partials := make([]Agg, shards)
+		for _, out := range outs {
+			partials[r.Intn(shards)].Observe(out)
+		}
+		var merged Agg
+		for _, p := range partials {
+			merged.Merge(p)
+		}
+		if merged != whole {
+			t.Fatalf("%d shards: merged %+v != sequential %+v", shards, merged, whole)
+		}
+		if merged.Stats() != whole.Stats() {
+			t.Fatalf("%d shards: stats diverge", shards)
+		}
+	}
+}
+
+// Merge must be order-independent: reversing the shard fold order cannot
+// change a single bit of the result.
+func TestAggMergeCommutes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	partials := make([]Agg, 9)
+	for i := range partials {
+		for j := 0; j < r.Intn(40); j++ {
+			partials[i].Observe(randOutcome(r))
+		}
+	}
+	var fwd, rev Agg
+	for i := range partials {
+		fwd.Merge(partials[i])
+		rev.Merge(partials[len(partials)-1-i])
+	}
+	if fwd != rev {
+		t.Fatalf("merge order changed the aggregate: %+v != %+v", fwd, rev)
+	}
+}
+
+func TestAggZeroStats(t *testing.T) {
+	var a Agg
+	if st := a.Stats(); st != (ProposedStats{}) {
+		t.Fatalf("zero aggregate produced non-zero stats: %+v", st)
+	}
+}
+
+// Agg.Stats must agree exactly with the historical inline aggregation in
+// ProposedOpts (sum then divide once, in the same order).
+func TestAggStatsMatchesDirectAverages(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var a Agg
+	var iters int
+	var scan int64
+	var align, config time.Duration
+	var passed, configured, n int
+	for i := 0; i < 100; i++ {
+		out := randOutcome(r)
+		a.Observe(out)
+		n++
+		iters += out.Iterations
+		scan += out.ScanBits
+		align += out.AlignDuration
+		config += out.ConfigDuration
+		if out.Passed {
+			passed++
+		}
+		if out.Configured {
+			configured++
+		}
+	}
+	want := ProposedStats{
+		Yield:          float64(passed) / float64(n),
+		AvgIterations:  float64(iters) / float64(n),
+		AvgScanBits:    float64(scan) / float64(n),
+		AvgAlignTime:   time.Duration(float64(align) / float64(n)),
+		AvgConfigTime:  time.Duration(float64(config) / float64(n)),
+		ConfiguredFrac: float64(configured) / float64(n),
+	}
+	if got := a.Stats(); got != want {
+		t.Fatalf("stats %+v != direct averages %+v", got, want)
+	}
+}

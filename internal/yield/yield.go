@@ -159,36 +159,19 @@ func ProposedCtx(ctx context.Context, plan *core.Plan, chips []*tester.Chip, T f
 }
 
 // ProposedOpts is ProposedCtx with a pluggable measurement backend and
-// event observer.
+// event observer. The aggregation is a sequential fold through Agg, so a
+// sharded fleet reducing through Agg.Merge lands on the identical stats.
 func ProposedOpts(ctx context.Context, plan *core.Plan, chips []*tester.Chip, T float64, opts core.RunOptions) (ProposedStats, error) {
-	var st ProposedStats
 	if len(chips) == 0 {
-		return st, nil
+		return ProposedStats{}, nil
 	}
 	outs, err := plan.RunChipsAllOpts(ctx, chips, T, plan.Cfg.Workers, opts)
 	if err != nil {
-		return st, err
+		return ProposedStats{}, err
 	}
-	var ate tester.Stats
-	var passed, configured int
-	var alignDur, cfgDur time.Duration
+	var agg Agg
 	for _, out := range outs {
-		ate.Add(out.Iterations, out.ScanBits)
-		alignDur += out.AlignDuration
-		cfgDur += out.ConfigDuration
-		if out.Configured {
-			configured++
-		}
-		if out.Passed {
-			passed++
-		}
+		agg.Observe(out)
 	}
-	n := float64(len(chips))
-	st.Yield = float64(passed) / n
-	st.AvgIterations = float64(ate.Iterations) / n
-	st.AvgScanBits = float64(ate.ScanBits) / n
-	st.AvgAlignTime = time.Duration(float64(alignDur) / n)
-	st.AvgConfigTime = time.Duration(float64(cfgDur) / n)
-	st.ConfiguredFrac = float64(configured) / n
-	return st, nil
+	return agg.Stats(), nil
 }

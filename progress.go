@@ -1,0 +1,49 @@
+package effitest
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// NewProgressPrinter returns an Observer that narrates flow progress to w as
+// plain text lines: the offline prepare, every finished test batch, and a
+// running per-chip completion count. Wire it up with WithObserver; the CLIs
+// expose it as -progress (printing to stderr).
+//
+// Chips execute concurrently, so lines from different chips interleave; each
+// line is written atomically under one mutex, which also makes the printer
+// safe for concurrent use as the Observer contract requires.
+func NewProgressPrinter(w io.Writer) Observer {
+	var mu sync.Mutex
+	var done, passed int
+	return ObserverFunc(func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev := e.(type) {
+		case PrepareDoneEvent:
+			fmt.Fprintf(w, "progress: %s prepared: %d groups, %d batches, %d tested paths, cache hit=%v (%.2fs)\n",
+				ev.Circuit, ev.Groups, ev.Batches, ev.Tested, ev.CacheHit, ev.Duration.Seconds())
+		case BatchEndEvent:
+			if ev.Err != nil {
+				fmt.Fprintf(w, "progress: chip %d batch %d failed: %v\n", ev.Chip, ev.Batch, ev.Err)
+				return
+			}
+			fmt.Fprintf(w, "progress: chip %d batch %d: %d iterations\n", ev.Chip, ev.Batch, ev.Iterations)
+		case ChipDoneEvent:
+			done++
+			if ev.Passed {
+				passed++
+			}
+			status := "failed"
+			switch {
+			case ev.Err != nil:
+				status = fmt.Sprintf("error: %v", ev.Err)
+			case ev.Passed:
+				status = "passed"
+			}
+			fmt.Fprintf(w, "progress: chip %d done (%s, %d iterations) — %d chips done, %d passed\n",
+				ev.Chip, status, ev.Iterations, done, passed)
+		}
+	})
+}

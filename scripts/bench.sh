@@ -3,18 +3,20 @@
 # trajectory is tracked PR over PR (BENCH_<pr>.json at the repo root).
 #
 # Usage (from the repository root):
-#   scripts/bench.sh                    # fast subset, 1 op each -> BENCH_3.json
-#   BENCH_OUT=BENCH_4.json scripts/bench.sh
+#   scripts/bench.sh                    # fast subset, 1 op each -> BENCH_4.json
+#   BENCH_OUT=BENCH_5.json scripts/bench.sh
 #   BENCH_PATTERN='Benchmark' BENCH_TIME=2s scripts/bench.sh   # everything, timed
 set -eu
 
 # BenchmarkPrepare also matches BenchmarkPrepareWarmCache: cold Prepare and
 # the warm plan-cache load are tracked side by side.
-BENCH_PATTERN="${BENCH_PATTERN:-BenchmarkFlowChip|BenchmarkEngineRunChips|BenchmarkPrepare|BenchmarkAblationAlignSolver}"
+# BenchmarkCampaignThroughput tracks fleet chips/s two ways — in-process
+# manager vs HTTP loopback — so service overhead is visible PR over PR.
+BENCH_PATTERN="${BENCH_PATTERN:-BenchmarkFlowChip|BenchmarkEngineRunChips|BenchmarkPrepare|BenchmarkAblationAlignSolver|BenchmarkCampaignThroughput}"
 BENCH_TIME="${BENCH_TIME:-1x}"
-BENCH_OUT="${BENCH_OUT:-BENCH_3.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_4.json}"
 BENCH_LABEL="${BENCH_LABEL:-${BENCH_OUT%.json}}"
 
-go test -run '^$' -bench "$BENCH_PATTERN" -benchtime "$BENCH_TIME" . |
+go test -run '^$' -bench "$BENCH_PATTERN" -benchtime "$BENCH_TIME" . ./fleet |
   tee /dev/stderr |
   go run ./cmd/benchjson -label "$BENCH_LABEL" -o "$BENCH_OUT"
