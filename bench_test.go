@@ -163,6 +163,7 @@ func BenchmarkFlowChip(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			f := fixture(b, name, effitest.DefaultConfig())
 			chip := effitest.SampleChip(f.circuit, 3, 0)
+			b.ReportAllocs()
 			b.ResetTimer()
 			iters := 0
 			for i := 0; i < b.N; i++ {

@@ -10,6 +10,11 @@
 // b.ReportMetric units (tester_iters, chips/s, ...) all land in the
 // per-benchmark metrics map. Non-benchmark lines are ignored, so piping the
 // whole `go test` output through is fine.
+//
+// Compare mode checks a fresh report against a committed baseline and exits
+// non-zero on a regression — the CI bench-regression smoke job:
+//
+//	benchjson -baseline BENCH_5.json -bench FlowChip/s9234 -metric ns/op -max-ratio 1.25 fresh.json
 package main
 
 import (
@@ -75,10 +80,85 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// findMetric looks one benchmark's metric up in a report.
+func findMetric(rep *Report, bench, metric string) (float64, error) {
+	for _, r := range rep.Results {
+		if r.Name != bench {
+			continue
+		}
+		v, ok := r.Metrics[metric]
+		if !ok {
+			return 0, fmt.Errorf("benchmark %q has no %q metric", bench, metric)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("benchmark %q not in report", bench)
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// compare checks fresh against the baseline: ratio fresh/baseline of the
+// chosen metric must stay ≤ maxRatio. Returns an error describing the
+// regression, or nil.
+func compare(baselinePath, freshPath, bench, metric string, maxRatio float64) error {
+	base, err := readReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := readReport(freshPath)
+	if err != nil {
+		return err
+	}
+	bv, err := findMetric(base, bench, metric)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %v", baselinePath, err)
+	}
+	fv, err := findMetric(fresh, bench, metric)
+	if err != nil {
+		return fmt.Errorf("fresh %s: %v", freshPath, err)
+	}
+	if bv <= 0 {
+		return fmt.Errorf("baseline %s %s of %s is %v — cannot ratio", bench, metric, baselinePath, bv)
+	}
+	ratio := fv / bv
+	fmt.Printf("benchjson: %s %s: baseline %.0f, fresh %.0f, ratio %.3f (max %.3f)\n",
+		bench, metric, bv, fv, ratio, maxRatio)
+	if ratio > maxRatio {
+		return fmt.Errorf("%s %s regressed: %.3f× the committed baseline (limit %.3f×)", bench, metric, ratio, maxRatio)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	label := flag.String("label", "", "free-form label recorded in the report (e.g. a PR number)")
+	baseline := flag.String("baseline", "", "compare mode: committed baseline report to diff the positional fresh report against")
+	bench := flag.String("bench", "FlowChip/s9234", "compare mode: benchmark name to check")
+	metric := flag.String("metric", "ns/op", "compare mode: metric to check")
+	maxRatio := flag.Float64("max-ratio", 1.25, "compare mode: fail when fresh/baseline exceeds this")
 	flag.Parse()
+
+	if *baseline != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: compare mode needs exactly one fresh report argument")
+			os.Exit(2)
+		}
+		if err := compare(*baseline, flag.Arg(0), *bench, *metric, *maxRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	report := Report{
 		GoVersion: runtime.Version(),

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	cases := []struct {
@@ -46,5 +51,41 @@ func TestParseLine(t *testing.T) {
 				t.Errorf("parseLine(%q) metric %s = %v, want %v", tc.line, unit, r.Metrics[unit], v)
 			}
 		}
+	}
+}
+
+func writeReport(t *testing.T, path string, results []Result) {
+	t.Helper()
+	data, err := json.Marshal(Report{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeReport(t, base, []Result{{Name: "FlowChip/s9234", Metrics: map[string]float64{"ns/op": 1000}}})
+
+	ok := filepath.Join(dir, "ok.json")
+	writeReport(t, ok, []Result{{Name: "FlowChip/s9234", Metrics: map[string]float64{"ns/op": 1200}}})
+	if err := compare(base, ok, "FlowChip/s9234", "ns/op", 1.25); err != nil {
+		t.Fatalf("ratio 1.2 within 1.25 budget, got %v", err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	writeReport(t, bad, []Result{{Name: "FlowChip/s9234", Metrics: map[string]float64{"ns/op": 1300}}})
+	if err := compare(base, bad, "FlowChip/s9234", "ns/op", 1.25); err == nil {
+		t.Fatal("ratio 1.3 must fail the 1.25 budget")
+	}
+
+	if err := compare(base, ok, "FlowChip/missing", "ns/op", 1.25); err == nil {
+		t.Fatal("missing benchmark must be an error, not a silent pass")
+	}
+	if err := compare(base, ok, "FlowChip/s9234", "allocs/op", 1.25); err == nil {
+		t.Fatal("missing metric must be an error, not a silent pass")
 	}
 }

@@ -24,9 +24,43 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"time"
 
+	"effitest"
 	"effitest/internal/conformance"
 )
+
+// timingCollector accumulates the per-chip solver runtime components from
+// the flow's typed events: Tt (alignment solves, AlignSolveEvent) and Tp
+// (statistical prediction, PredictEvent). Chips run concurrently, so the
+// sums are mutex-guarded as the Observer contract requires.
+type timingCollector struct {
+	mu      sync.Mutex
+	align   time.Duration
+	predict time.Duration
+}
+
+func (tc *timingCollector) Observe(e effitest.Event) {
+	switch ev := e.(type) {
+	case effitest.AlignSolveEvent:
+		tc.mu.Lock()
+		tc.align += ev.Duration
+		tc.mu.Unlock()
+	case effitest.PredictEvent:
+		tc.mu.Lock()
+		tc.predict += ev.Duration
+		tc.mu.Unlock()
+	}
+}
+
+// cols formats the Tt/Tp table cells in milliseconds.
+func (tc *timingCollector) cols() (string, string) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1e3) }
+	return ms(tc.align), ms(tc.predict)
+}
 
 func main() {
 	var (
@@ -46,7 +80,9 @@ func main() {
 	var bandRows []string
 	bandFailed := false
 
-	fmt.Printf("%-45s %-8s %s\n", "SCENARIO", "STATUS", "NOTE")
+	// Tt/Tp are the paper's per-chip solver runtime components, summed over
+	// the scenario's fleet: alignment solves and statistical prediction.
+	fmt.Printf("%-45s %-8s %9s %9s  %s\n", "SCENARIO", "STATUS", "Tt(ms)", "Tp(ms)", "NOTE")
 	for _, sc := range conformance.DefaultMatrix() {
 		name := sc.Name()
 		if *filter != "" && !strings.Contains(name, *filter) {
@@ -54,12 +90,21 @@ func main() {
 		}
 		if *short && sc.Heavy {
 			skipped++
-			fmt.Printf("%-45s %-8s %s\n", name, "skip", "heavy scenario (-short)")
+			fmt.Printf("%-45s %-8s %9s %9s  %s\n", name, "skip", "-", "-", "heavy scenario (-short)")
 			continue
 		}
 		sc.PlanCache = *planCache
+		tt, tp := "-", "-"
+		var tc *timingCollector
+		if sc.Kind == conformance.KindPipeline {
+			tc = &timingCollector{}
+			sc.Observer = tc
+		}
 		ran++
 		snap, note, ok := runScenario(ctx, sc, *goldenDir, *update, *verbose)
+		if tc != nil {
+			tt, tp = tc.cols()
+		}
 		status := "ok"
 		if !ok {
 			status = "FAIL"
@@ -70,7 +115,7 @@ func main() {
 		if *update && ok {
 			status = "updated"
 		}
-		fmt.Printf("%-45s %-8s %s\n", name, status, note)
+		fmt.Printf("%-45s %-8s %9s %9s  %s\n", name, status, tt, tp, note)
 		if snap != nil {
 			for _, b := range conformance.PaperBands(snap) {
 				bandRows = append(bandRows, b.String())

@@ -15,6 +15,11 @@
 //
 // (a ".json" extension on -save-plan/-load-plan selects the JSON artifact
 // form.)
+//
+// Profile a run with the standard pprof flags:
+//
+//	effitest -circuit s38584 -chips 50 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -23,28 +28,62 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"effitest"
 )
 
 func main() {
 	var (
-		name     = flag.String("circuit", "s9234", "benchmark circuit (see -list)")
-		list     = flag.Bool("list", false, "list available benchmark circuits and exit")
-		seed     = flag.Int64("seed", 1, "master random seed")
-		chips    = flag.Int("chips", 100, "number of simulated chips")
-		quantile = flag.Float64("quantile", 0.8413, "clock period as a quantile of the no-tuning critical delay (0.8413 = paper's T2)")
-		qchips   = flag.Int("quantile-chips", 2000, "Monte-Carlo chips for the period quantile")
-		align    = flag.String("align", "heuristic", "alignment solver: heuristic | fast-milp | paper-ilp | off")
-		eps      = flag.Float64("eps", 0, "delay-range termination threshold in ns (0 = default 0.002)")
-		workers  = flag.Int("workers", 0, "worker goroutines for chip execution (0 = all CPUs, 1 = sequential)")
-		cacheDir = flag.String("plan-cache", "", "content-addressed plan cache directory (skips Prepare on a warm hit)")
-		savePlan = flag.String("save-plan", "", "write the prepared plan artifact to this path (.json = JSON form)")
-		loadPlan = flag.String("load-plan", "", "load the plan from this artifact instead of running Prepare")
-		progress = flag.Bool("progress", false, "print per-chip/batch progress to stderr while the fleet runs")
+		name       = flag.String("circuit", "s9234", "benchmark circuit (see -list)")
+		list       = flag.Bool("list", false, "list available benchmark circuits and exit")
+		seed       = flag.Int64("seed", 1, "master random seed")
+		chips      = flag.Int("chips", 100, "number of simulated chips")
+		quantile   = flag.Float64("quantile", 0.8413, "clock period as a quantile of the no-tuning critical delay (0.8413 = paper's T2)")
+		qchips     = flag.Int("quantile-chips", 2000, "Monte-Carlo chips for the period quantile")
+		align      = flag.String("align", "heuristic", "alignment solver: heuristic | fast-milp | paper-ilp | off")
+		eps        = flag.Float64("eps", 0, "delay-range termination threshold in ns (0 = default 0.002)")
+		workers    = flag.Int("workers", 0, "worker goroutines for chip execution (0 = all CPUs, 1 = sequential)")
+		cacheDir   = flag.String("plan-cache", "", "content-addressed plan cache directory (skips Prepare on a warm hit)")
+		savePlan   = flag.String("save-plan", "", "write the prepared plan artifact to this path (.json = JSON form)")
+		loadPlan   = flag.String("load-plan", "", "load the plan from this artifact instead of running Prepare")
+		progress   = flag.Bool("progress", false, "print per-chip/batch progress to stderr while the fleet runs")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	// Profile cleanups run through runCleanups, not bare defers: fatal()
+	// exits with os.Exit, which would skip defers and leave a footerless
+	// CPU profile — useless exactly when a failing run is being profiled.
+	defer runCleanups()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		cleanups = append(cleanups, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		cleanups = append(cleanups, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "effitest:", err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "effitest:", err)
+			}
+			f.Close()
+		})
+	}
 
 	if *list {
 		for _, p := range effitest.Profiles() {
@@ -139,9 +178,26 @@ func main() {
 	fmt.Printf("  yield drop vs ideal:    %6.2f%%\n", 100*(ideal-st.Yield))
 }
 
+// cleanups holds the profile flushes that must run on every exit path;
+// runCleanups is idempotent so both the normal defer and fatal's error
+// path may call it.
+var (
+	cleanups    []func()
+	cleanupOnce sync.Once
+)
+
+func runCleanups() {
+	cleanupOnce.Do(func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	})
+}
+
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "effitest:", err)
+		runCleanups()
 		os.Exit(1)
 	}
 }

@@ -205,6 +205,10 @@ type (
 	FrequencyStepEvent = core.FrequencyStepEvent
 	// AlignSolveEvent fires per §3.3 alignment solve.
 	AlignSolveEvent = core.AlignSolveEvent
+	// PredictEvent fires once per chip after §3.4's conditional prediction,
+	// carrying the chip's share of the statistical-prediction runtime (the
+	// paper's Tp component; AlignSolveEvent carries the matching Tt).
+	PredictEvent = core.PredictEvent
 	// ChipDoneEvent fires when one chip's online flow finishes.
 	ChipDoneEvent = core.ChipDoneEvent
 )

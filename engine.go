@@ -430,8 +430,9 @@ func (e *Engine) RunChipsAt(ctx context.Context, chips []*Chip, Td float64) iter
 // Stream executes the online flow over an unbounded chip source — a
 // generator, a socket feed, a directory walk — pulling chips on demand,
 // fanning them across the worker pool and streaming results in input
-// order. The population is never materialized: memory stays bounded by
-// roughly 3× the worker count regardless of how many chips flow through.
+// order. The population is never materialized: memory stays bounded by a
+// hard window of 3× the worker count regardless of how many chips flow
+// through.
 //
 // Breaking out of the range stops the source and releases the workers.
 // Cancelling the context stops pulling new chips (an unbounded source can

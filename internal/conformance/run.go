@@ -83,6 +83,9 @@ func RunPipeline(ctx context.Context, sc Scenario) (*PipelineResult, error) {
 	if sc.Backend != nil {
 		opts = append(opts, effitest.WithBackend(sc.Backend))
 	}
+	if sc.Observer != nil {
+		opts = append(opts, effitest.WithObserver(sc.Observer))
+	}
 	eng, err := effitest.NewCtx(ctx, c, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("conformance: %s: engine: %w", sc.Name(), err)

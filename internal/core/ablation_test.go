@@ -202,7 +202,7 @@ func BenchmarkAlignSolveHeuristic(b *testing.B) {
 	assignWeights(items, 1000, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		alignHeuristic(c, items, nil)
+		alignHeuristic(c, items, nil, &alignScratch{})
 	}
 }
 

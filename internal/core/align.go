@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"effitest/internal/circuit"
@@ -26,9 +27,16 @@ func (it alignItem) center() float64 { return (it.lo + it.hi) / 2 }
 // away from the middle (k0 ≫ kd keeps middle ranges slightly prioritized,
 // resolving the non-overlapping tie of Figure 6e).
 func assignWeights(items []alignItem, k0, kd float64) {
-	idx := make([]int, len(items))
-	for i := range idx {
-		idx[i] = i
+	assignWeightsInto(items, k0, kd, nil)
+}
+
+// assignWeightsInto is assignWeights over a caller-owned rank buffer, so
+// the per-frequency-step hot loop reuses one allocation; it returns the
+// (possibly grown) buffer for the caller to keep.
+func assignWeightsInto(items []alignItem, k0, kd float64, idx []int) []int {
+	idx = idx[:0]
+	for i := range items {
+		idx = append(idx, i)
 	}
 	sort.Slice(idx, func(a, b int) bool { return items[idx[a]].center() < items[idx[b]].center() })
 	mid := (len(idx) - 1) / 2
@@ -39,6 +47,7 @@ func assignWeights(items []alignItem, k0, kd float64) {
 		}
 		items[i].weight = w
 	}
+	return idx
 }
 
 // alignResult carries the per-iteration solve outcome: the clock period to
@@ -49,15 +58,41 @@ type alignResult struct {
 	Obj float64
 }
 
+// alignScratch holds the heuristic solvers' reusable buffers. One lives in
+// every chipScratch, so the per-frequency-step solves of a whole chip
+// stream share a handful of allocations. The returned alignResult.X
+// aliases the scratch and is valid until the next solve on it — exactly
+// the lifetime runBatchTest needs (step the tester, update bounds, warm-
+// start the next solve).
+type alignScratch struct {
+	x, bestX  []float64
+	restart   [3][]float64
+	vals, wts []float64
+	vw        valsWeights // reused sort adapter; repointed per median call
+	bufs      []int
+}
+
+// resizeF returns s with length n, reusing its capacity when possible.
+// Contents are unspecified.
+func resizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // alignSolve dispatches on the configured mode. Buffered FFs not touched by
 // the batch keep their previous values (vector prev, may be nil for all-
-// zero).
-func alignSolve(c *circuit.Circuit, items []alignItem, prev []float64, cfg Config) (alignResult, error) {
+// zero). A nil scr degrades to one-shot buffers.
+func alignSolve(c *circuit.Circuit, items []alignItem, prev []float64, cfg Config, scr *alignScratch) (alignResult, error) {
+	if scr == nil {
+		scr = &alignScratch{}
+	}
 	switch cfg.AlignMode {
 	case AlignOff:
-		return alignOff(c, items), nil
+		return alignOff(c, items, scr), nil
 	case AlignHeuristic:
-		return alignHeuristic(c, items, prev), nil
+		return alignHeuristic(c, items, prev, scr), nil
 	case AlignFastMILP:
 		return alignMILP(c, items, false)
 	case AlignPaperILP:
@@ -81,31 +116,66 @@ func (x valsWeights) Swap(a, b int) {
 // weighted median. It sorts vals and weights in place (callers recompute
 // them before every call).
 func weightedMedian(vals, weights []float64) float64 {
-	sort.Sort(valsWeights{vals, weights})
+	return weightedMedianVW(&valsWeights{vals, weights})
+}
+
+// weightedMedianVW is weightedMedian over a reusable adapter: repointing
+// and passing the same *valsWeights every call avoids boxing the slice
+// pair into a sort.Interface on the hot path.
+//
+// Small inputs — every batch under the default MaxBatch — take a direct
+// insertion sort over the parallel slices instead of sort.Sort's interface
+// machinery, which otherwise dominates the whole online flow's CPU. The
+// two sorts may order exact-tie values differently, but the weighted
+// median is invariant to tie order: the prefix sum crosses total/2 at the
+// same value either way (tie groups contribute the same weight sum
+// wherever their members sit within the group).
+func weightedMedianVW(vw *valsWeights) float64 {
+	if len(vw.v) <= 32 {
+		insertionSortVW(vw.v, vw.w)
+	} else {
+		sort.Sort(vw)
+	}
 	total := 0.0
-	for _, w := range weights {
+	for _, w := range vw.w {
 		total += w
 	}
 	acc := 0.0
-	for i, w := range weights {
+	for i, w := range vw.w {
 		acc += w
 		if acc >= total/2 {
-			return vals[i]
+			return vw.v[i]
 		}
 	}
-	return vals[len(vals)-1]
+	return vw.v[len(vw.v)-1]
+}
+
+// insertionSortVW sorts the parallel (value, weight) slices by value.
+func insertionSortVW(v, w []float64) {
+	for i := 1; i < len(v); i++ {
+		vi, wi := v[i], w[i]
+		j := i - 1
+		for j >= 0 && v[j] > vi {
+			v[j+1], w[j+1] = v[j], w[j]
+			j--
+		}
+		v[j+1], w[j+1] = vi, wi
+	}
 }
 
 // alignOff keeps buffers at zero and picks the weighted median of centers.
-func alignOff(c *circuit.Circuit, items []alignItem) alignResult {
-	vals := make([]float64, len(items))
-	ws := make([]float64, len(items))
+func alignOff(c *circuit.Circuit, items []alignItem, scr *alignScratch) alignResult {
+	scr.vals = resizeF(scr.vals, len(items))
+	scr.wts = resizeF(scr.wts, len(items))
 	for i, it := range items {
-		vals[i] = it.center()
-		ws[i] = it.weight
+		scr.vals[i] = it.center()
+		scr.wts[i] = it.weight
 	}
-	x := make([]float64, c.NumFF)
-	t := weightedMedian(vals, ws)
+	scr.x = resizeF(scr.x, c.NumFF)
+	x := scr.x
+	clear(x)
+	scr.vw.v, scr.vw.w = scr.vals, scr.wts
+	t := weightedMedianVW(&scr.vw)
 	return alignResult{T: t, X: x, Obj: alignObjective(items, t, x)}
 }
 
@@ -131,22 +201,25 @@ func holdViolated(items []alignItem, x []float64) bool {
 // alignHeuristic is weighted-median coordinate descent over the buffer
 // lattice: T is re-optimized in closed form; each touched buffer scans its
 // lattice, skipping values that violate any hold bound of the batch.
-func alignHeuristic(c *circuit.Circuit, items []alignItem, prev []float64) alignResult {
-	x := make([]float64, c.NumFF)
+func alignHeuristic(c *circuit.Circuit, items []alignItem, prev []float64, scr *alignScratch) alignResult {
+	scr.x = resizeF(scr.x, c.NumFF)
+	x := scr.x
 	if prev != nil {
-		copy(x, prev)
+		copy(x, prev) // a warm re-solve may hand back x itself; copy is a no-op then
+	} else {
+		clear(x)
 	}
-	// Collect touched buffered FFs.
-	var bufs []int
-	seen := map[int]bool{}
+	// Collect touched buffered FFs (a batch touches at most 2×len(items),
+	// so a linear membership scan beats a map).
+	bufs := scr.bufs[:0]
 	for _, it := range items {
 		for _, f := range [2]int{it.from, it.to} {
-			if c.Buf.Buffered[f] && !seen[f] {
-				seen[f] = true
+			if c.Buf.Buffered[f] && !slices.Contains(bufs, f) {
 				bufs = append(bufs, f)
 			}
 		}
 	}
+	scr.bufs = bufs
 	sort.Ints(bufs)
 	// Quantize any inherited values and repair hold feasibility.
 	for _, f := range bufs {
@@ -154,8 +227,9 @@ func alignHeuristic(c *circuit.Circuit, items []alignItem, prev []float64) align
 	}
 	repairHolds(c, items, bufs, x)
 
-	vals := make([]float64, len(items))
-	ws := make([]float64, len(items))
+	scr.vals = resizeF(scr.vals, len(items))
+	scr.wts = resizeF(scr.wts, len(items))
+	vals, ws := scr.vals, scr.wts
 	// evalBestT returns the objective with T re-optimized in closed form
 	// (the weighted median of the shifted centers) for the current x.
 	evalBestT := func() (float64, float64) {
@@ -163,7 +237,8 @@ func alignHeuristic(c *circuit.Circuit, items []alignItem, prev []float64) align
 			vals[i] = it.center() + x[it.from] - x[it.to]
 			ws[i] = it.weight
 		}
-		t := weightedMedian(vals, ws)
+		scr.vw.v, scr.vw.w = vals, ws
+		t := weightedMedianVW(&scr.vw)
 		if t < 0 {
 			t = 0
 		}
@@ -179,7 +254,9 @@ func alignHeuristic(c *circuit.Circuit, items []alignItem, prev []float64) align
 	if len(bufs) <= 2 && steps > 0 && steps <= 64 {
 		// Exhaustive lattice search: exact for one- and two-buffer batches
 		// (common on circuits with few buffers).
-		bestX := append([]float64(nil), x...)
+		scr.bestX = resizeF(scr.bestX, c.NumFF)
+		bestX := scr.bestX
+		copy(bestX, x)
 		_, best := evalBestT()
 		if holdViolated(items, x) {
 			best = math.Inf(1)
@@ -246,7 +323,8 @@ func alignHeuristic(c *circuit.Circuit, items []alignItem, prev []float64) align
 		return best
 	}
 
-	bestX := append([]float64(nil), x...)
+	scr.bestX = resizeF(scr.bestX, c.NumFF)
+	bestX := scr.bestX
 	bestObj := descend()
 	copy(bestX, x)
 	if prev != nil {
@@ -258,8 +336,11 @@ func alignHeuristic(c *circuit.Circuit, items []alignItem, prev []float64) align
 	}
 	// Cold start: restart from all-zero (quantized) and two deterministic
 	// spreads derived from the batch contents.
-	restarts := [][]float64{make([]float64, c.NumFF), make([]float64, c.NumFF), make([]float64, c.NumFF)}
-	for ri, rx := range restarts {
+	restarts := scr.restart[:] // aliases scr.restart, so grown buffers persist
+	for ri := range restarts {
+		restarts[ri] = resizeF(restarts[ri], c.NumFF)
+		rx := restarts[ri]
+		clear(rx)
 		for bi, f := range bufs {
 			switch ri {
 			case 0:

@@ -37,7 +37,7 @@ func TestAlignOffKeepsBuffersZero(t *testing.T) {
 	c := tinyCircuit(t, 1)
 	items := batchItems(c, []int{0, 1}, nil)
 	assignWeights(items, 1000, 1)
-	res := alignOff(c, items)
+	res := alignOff(c, items, &alignScratch{})
 	for f, v := range res.X {
 		if v != 0 {
 			t.Fatalf("buffer %d moved in AlignOff: %v", f, v)
@@ -104,7 +104,7 @@ func TestAlignModesAgreeOnObjective(t *testing.T) {
 		if math.Abs(fast.Obj-paper.Obj) > 1e-5*(1+math.Abs(fast.Obj)) {
 			t.Fatalf("fast %v vs paper %v objective mismatch", fast.Obj, paper.Obj)
 		}
-		heur := alignHeuristic(c, items, nil)
+		heur := alignHeuristic(c, items, nil, &alignScratch{})
 		if heur.Obj < fast.Obj-1e-6 {
 			t.Fatalf("heuristic %v beat exact %v — exact solver is wrong", heur.Obj, fast.Obj)
 		}
@@ -130,8 +130,8 @@ func TestAlignmentReducesObjectiveVsNoAlignment(t *testing.T) {
 		}
 		items := batchItems(c, batch, nil)
 		assignWeights(items, 1000, 1)
-		off := alignOff(c, items)
-		heur := alignHeuristic(c, items, nil)
+		off := alignOff(c, items, &alignScratch{})
+		heur := alignHeuristic(c, items, nil, &alignScratch{})
 		if heur.Obj < off.Obj-1e-9 {
 			improvedSomewhere = true
 		}
@@ -149,7 +149,7 @@ func TestAlignRespectsLattice(t *testing.T) {
 	batches := FormBatches(c, rangeInts(c.NumPaths()), DefaultConfig())
 	items := batchItems(c, batches[0], nil)
 	assignWeights(items, 1000, 1)
-	res := alignHeuristic(c, items, nil)
+	res := alignHeuristic(c, items, nil, &alignScratch{})
 	for f := 0; f < c.NumFF; f++ {
 		if !c.Buf.Buffered[f] {
 			if res.X[f] != 0 {
@@ -182,7 +182,7 @@ func TestAlignRespectsHoldBounds(t *testing.T) {
 	for _, batch := range batches[:minInt(3, len(batches))] {
 		items := batchItems(c, batch, lambda)
 		assignWeights(items, 1000, 1)
-		res := alignHeuristic(c, items, nil)
+		res := alignHeuristic(c, items, nil, &alignScratch{})
 		for _, it := range items {
 			if res.X[it.from]-res.X[it.to] < it.lambda-1e-9 {
 				t.Fatalf("hold bound violated: x%d-x%d = %v < %v",

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"sync"
 	"time"
 
 	"effitest/internal/circuit"
@@ -33,6 +34,13 @@ type Plan struct {
 	// prepared for (see planio.go); set by Prepare, the codecs and Bind.
 	circuitHash string
 	circuitName string
+
+	// kernels holds the baked per-group conditional predictors (see
+	// kernels.go) and scratch the pool of per-worker workspaces. Both are
+	// derived state set by bakeKernels from Prepare/Bind — never
+	// serialized, read-only afterwards, shared safely by shallow copies.
+	kernels *predictKernels
+	scratch *sync.Pool
 }
 
 // Prepare runs the offline flow of Figure 4: path selection for prediction,
@@ -89,16 +97,23 @@ func PrepareCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Plan, err
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{
-		Circuit:      c,
-		Cfg:          cfg,
-		Groups:       groups,
-		Tested:       tested,
-		Filled:       filled,
-		Batches:      batches,
-		Hold:         hb,
-		PrepDuration: time.Since(start),
-	}, nil
+	pl := &Plan{
+		Circuit: c,
+		Cfg:     cfg,
+		Groups:  groups,
+		Tested:  tested,
+		Filled:  filled,
+		Batches: batches,
+		Hold:    hb,
+	}
+	// Bake the conditional-prediction kernels for the final tested set: the
+	// ridged Cholesky factors, cross-covariance gains and conditional
+	// sigmas the per-chip flow applies without re-factorizing (kernels.go).
+	if err := pl.bakeKernels(ctx); err != nil {
+		return nil, err
+	}
+	pl.PrepDuration = time.Since(start)
+	return pl, nil
 }
 
 // precomputeGroupMVNs attaches each multi-path group's joint delay
@@ -148,8 +163,9 @@ type ChipOutcome struct {
 	Iterations int   // tester frequency steps (the paper's per-chip ta term)
 	ScanBits   int64 // configuration bits shifted through the scan chain
 
-	AlignDuration  time.Duration // Tt component
-	ConfigDuration time.Duration // Ts component
+	AlignDuration   time.Duration // Tt component
+	ConfigDuration  time.Duration // Ts component
+	PredictDuration time.Duration // Tp component spent per chip (§3.4 prediction)
 
 	Bounds     *Bounds   // final per-path delay windows (measured/predicted)
 	X          []float64 // configured buffer values
@@ -176,9 +192,18 @@ func (pl *Plan) RunChipCtx(ctx context.Context, ch *tester.Chip, Td float64) (*C
 
 // RunChipOpts is RunChipCtx with a pluggable measurement backend and an
 // event observer. The observer sees BatchStart/End, AlignSolve,
-// FrequencyStep and ChipDone events for this chip (identified by
+// FrequencyStep, Predict and ChipDone events for this chip (identified by
 // Chip.Index); a nil backend means the in-process simulated ATE.
-func (pl *Plan) RunChipOpts(ctx context.Context, ch *tester.Chip, Td float64, opts RunOptions) (out *ChipOutcome, err error) {
+func (pl *Plan) RunChipOpts(ctx context.Context, ch *tester.Chip, Td float64, opts RunOptions) (*ChipOutcome, error) {
+	scr := pl.getScratch()
+	defer pl.putScratch(scr)
+	return pl.runChipScratch(ctx, ch, Td, opts, scr)
+}
+
+// runChipScratch is RunChipOpts over a caller-owned scratch: the worker
+// pool hands each worker one scratch for its whole chip stream, so the hot
+// prediction and alignment state is reused instead of reallocated per chip.
+func (pl *Plan) runChipScratch(ctx context.Context, ch *tester.Chip, Td float64, opts RunOptions, scr *chipScratch) (out *ChipOutcome, err error) {
 	if ch.Circuit != pl.Circuit {
 		return nil, ErrChipCircuitMismatch
 	}
@@ -209,7 +234,7 @@ func (pl *Plan) RunChipOpts(ctx context.Context, ch *tester.Chip, Td float64, op
 			return nil, err
 		}
 		observe(obs, BatchStartEvent{Chip: ch.Index, Batch: bi, Paths: len(batch)})
-		iters, alignDur, err := runBatchTest(ctx, sess, c, batch, b, lambda, cfg, obs, ch.Index, bi)
+		iters, alignDur, err := runBatchTest(ctx, sess, c, batch, b, lambda, cfg, obs, ch.Index, bi, scr)
 		observe(obs, BatchEndEvent{Chip: ch.Index, Batch: bi, Iterations: iters, AlignTime: alignDur, Err: err})
 		if err != nil {
 			return nil, err
@@ -219,8 +244,23 @@ func (pl *Plan) RunChipOpts(ctx context.Context, ch *tester.Chip, Td float64, op
 	}
 	_, out.ScanBits = sess.Counters()
 
-	if err := PredictBounds(c, pl.Groups, pl.Tested, b); err != nil {
+	predStart := time.Now()
+	if pl.kernels != nil {
+		// Fast path: the baked kernels reduce §3.4's conditional estimation
+		// to a triangular solve + matvec per group, allocation-free over the
+		// worker's scratch, bit-identical to the naive path below.
+		pl.kernels.predictBounds(b, &scr.ws)
+	} else if err := PredictBounds(c, pl.Groups, pl.Tested, b); err != nil {
 		return nil, err
+	}
+	out.PredictDuration = time.Since(predStart)
+	if obs != nil {
+		e := PredictEvent{Chip: ch.Index, Duration: out.PredictDuration}
+		if pl.kernels != nil {
+			e.Groups = pl.kernels.predGroups
+			e.Predicted = pl.kernels.predPaths
+		}
+		obs.Observe(e)
 	}
 	out.Bounds = b
 

@@ -57,6 +57,19 @@ type AlignSolveEvent struct {
 	Duration time.Duration
 }
 
+// PredictEvent fires once per chip, after §3.4's conditional prediction of
+// the untested paths. Duration is the chip's share of the statistical
+// prediction runtime — the component the paper folds into Tp — spent
+// applying the plan's baked predictors (AlignSolveEvent durations are the
+// matching Tt component). Groups and Predicted describe the baked kernel
+// structure and are zero when the plan runs the naive prediction path.
+type PredictEvent struct {
+	Chip      int
+	Groups    int // correlation groups with at least one measured path
+	Predicted int // untested paths whose windows were predicted
+	Duration  time.Duration
+}
+
 // ChipDoneEvent fires when one chip's online flow finishes, successfully or
 // not (Err carries the per-chip failure).
 type ChipDoneEvent struct {
@@ -72,6 +85,7 @@ func (BatchStartEvent) event()    {}
 func (BatchEndEvent) event()      {}
 func (FrequencyStepEvent) event() {}
 func (AlignSolveEvent) event()    {}
+func (PredictEvent) event()       {}
 func (ChipDoneEvent) event()      {}
 
 // Observer receives flow events. Chips execute on a worker pool, so Observe

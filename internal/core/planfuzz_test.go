@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"effitest/internal/circuit"
@@ -54,6 +57,10 @@ func FuzzPlanDecode(f *testing.F) {
 	flip := append([]byte{}, bin...)
 	flip[len(flip)/2] ^= 0xFF // flip a payload bit
 	f.Add(flip)
+	// Previous-format artifacts (PR 3/4 plan caches): must be rejected with
+	// the typed version error, never decoded into garbage kernels.
+	f.Add(v1BinaryArtifact(f, bin))
+	f.Add(v1JSONArtifact(f, js))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pl, err := DecodePlan(data)
@@ -64,4 +71,38 @@ func FuzzPlanDecode(f *testing.F) {
 		// e.g. fingerprint mismatch or out-of-range ids) — never panic.
 		_ = pl.Bind(c)
 	})
+}
+
+// TestRegenFuzzCorpusSeeds regenerates the checked-in FuzzPlanDecode corpus
+// entries that track the current plan format version. Run it after a
+// PlanFormatVersion bump:
+//
+//	EFFITEST_UPDATE_FUZZ_CORPUS=1 go test -run TestRegenFuzzCorpusSeeds ./internal/core/
+func TestRegenFuzzCorpusSeeds(t *testing.T) {
+	if os.Getenv("EFFITEST_UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set EFFITEST_UPDATE_FUZZ_CORPUS=1 to regenerate the corpus")
+	}
+	_, bin, js := fuzzPlanArtifacts(t)
+	dir := filepath.Join("testdata", "fuzz", "FuzzPlanDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		t.Helper()
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("valid_binary", bin)
+	write("valid_json", js)
+	write("truncated", bin[:len(bin)/2])
+	flip := append([]byte{}, bin...)
+	flip[len(flip)/2] ^= 0xFF
+	write("payload_flip", flip)
+	skew := append([]byte{}, bin...)
+	skew[len(planMagic)] ^= 0x7F
+	write("version_skew", skew)
+	write("version_v1_binary", v1BinaryArtifact(t, bin))
+	write("version_v1_json", v1JSONArtifact(t, js))
 }

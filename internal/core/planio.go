@@ -31,7 +31,16 @@ import (
 // on any change to the encoded layout or to the offline flow's semantics,
 // so stale artifacts fail to load instead of silently running an outdated
 // plan.
-const PlanFormatVersion = 1
+//
+// Version history:
+//
+//	1 — initial artifact format.
+//	2 — plans carry baked conditional-prediction kernels (kernels.go).
+//	    The encoded layout is unchanged — kernels are derived state,
+//	    recomputed on Bind — but v1 artifacts predate the kernel contract,
+//	    so they are rejected (ErrPlanVersion) and plan caches self-heal by
+//	    re-preparing under the new version's key.
+const PlanFormatVersion = 2
 
 // planMagic opens every binary plan artifact.
 var planMagic = []byte("EFTPLAN\x00")
@@ -553,13 +562,15 @@ func (pl *Plan) Bind(c *circuit.Circuit) error {
 	if err != nil {
 		return err
 	}
-	return pl.bindWithFingerprint(c, hash)
+	return pl.bindWithFingerprint(context.Background(), c, hash)
 }
 
 // bindWithFingerprint is Bind with the circuit's fingerprint already
 // computed (the plan cache hashes the circuit for its key anyway; hashing
-// a large netlist twice per warm load would double the hot-path cost).
-func (pl *Plan) bindWithFingerprint(c *circuit.Circuit, hash string) error {
+// a large netlist twice per warm load would double the hot-path cost) and
+// with cancellation: the kernel bake is the expensive tail of a warm load,
+// so a cancelled context aborts it promptly.
+func (pl *Plan) bindWithFingerprint(ctx context.Context, c *circuit.Circuit, hash string) error {
 	if pl.circuitHash != "" && pl.circuitHash != hash {
 		return fmt.Errorf("%w: artifact for %q (%.12s…), got %q (%.12s…)",
 			ErrPlanCircuitMismatch, pl.circuitName, pl.circuitHash, c.Name, hash)
@@ -573,9 +584,22 @@ func (pl *Plan) bindWithFingerprint(c *circuit.Circuit, hash string) error {
 	pl.Circuit = c
 	pl.circuitHash = hash
 	pl.circuitName = c.Name
-	if err := precomputeGroupMVNs(context.Background(), c, pl.Groups); err != nil {
+	if err := precomputeGroupMVNs(ctx, c, pl.Groups); err != nil {
 		// A range-valid but semantically broken artifact (e.g. a tampered
-		// group whose covariance is singular) surfaces here.
+		// group whose covariance is singular) surfaces here. Cancellation
+		// surfaces as the context's error, not a format error.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return fmt.Errorf("%w: %v", ErrPlanFormat, err)
+	}
+	// Rebake the conditional-prediction kernels: like the group MVNs they
+	// are derived state, recomputed rather than shipped, so artifacts stay
+	// compact and a bound plan behaves exactly like a prepared one.
+	if err := pl.bakeKernels(ctx); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
 		return fmt.Errorf("%w: %v", ErrPlanFormat, err)
 	}
 	return nil

@@ -60,8 +60,9 @@ func (pl *Plan) RunChipsOpts(ctx context.Context, chips []*tester.Chip, Td float
 // Stream executes the online flow over an unbounded chip source: chips are
 // pulled from the sequence on demand, fanned across the worker pool, and
 // their results streamed in input order — the population is never
-// materialized, so a generator can feed millions of chips through a
-// fixed-memory window of roughly 3×workers in-flight chips.
+// materialized, so a generator can feed millions of chips through a hard
+// fixed-memory window of 3×workers in-flight chips (one slow chip cannot
+// let the rest of the pool run ahead of the consumer unboundedly).
 //
 // Semantics differ from RunChips in one deliberate way: cancelling the
 // context stops pulling from the source (an unbounded source can never be
@@ -96,6 +97,13 @@ func (pl *Plan) stream(ctx context.Context, src iter.Seq[*tester.Chip], Td float
 			ch *tester.Chip
 		}
 		jobs := make(chan job, w)
+		// window caps chips in flight (pulled from the source but not yet
+		// yielded) at 3×w, making the documented fixed-memory window a hard
+		// guarantee: without it, one slow chip lets the other workers run
+		// ahead and pile completed results into the reorder buffer without
+		// bound. The producer acquires a slot per pull; the reorder loop
+		// releases it when the result is yielded.
+		window := make(chan struct{}, 3*w)
 		go func() {
 			defer close(jobs)
 			i := 0
@@ -103,12 +111,24 @@ func (pl *Plan) stream(ctx context.Context, src iter.Seq[*tester.Chip], Td float
 				j := job{i, ch}
 				if drainAll {
 					select {
+					case window <- struct{}{}:
+					case <-abort:
+						return
+					}
+					select {
 					case jobs <- j:
 					case <-abort:
 						return
 					}
 				} else {
 					if runCtx.Err() != nil {
+						return
+					}
+					select {
+					case window <- struct{}{}:
+					case <-abort:
+						return
+					case <-runCtx.Done():
 						return
 					}
 					select {
@@ -129,6 +149,11 @@ func (pl *Plan) stream(ctx context.Context, src iter.Seq[*tester.Chip], Td float
 		for k := 0; k < w; k++ {
 			go func() {
 				defer wg.Done()
+				// One scratch per worker for its whole chip stream: the
+				// prediction workspace and alignment buffers are reused
+				// across every chip this goroutine executes.
+				scr := pl.getScratch()
+				defer pl.putScratch(scr)
 				for {
 					var j job
 					var ok bool
@@ -157,7 +182,7 @@ func (pl *Plan) stream(ctx context.Context, src iter.Seq[*tester.Chip], Td float
 					}
 					r := ChipResult{Index: j.i, Chip: j.ch}
 					if r.Err = runCtx.Err(); r.Err == nil {
-						r.Outcome, r.Err = pl.RunChipOpts(runCtx, j.ch, Td, opts)
+						r.Outcome, r.Err = pl.runChipScratch(runCtx, j.ch, Td, opts, scr)
 					}
 					select {
 					case inner <- r:
@@ -189,6 +214,9 @@ func (pl *Plan) stream(ctx context.Context, src iter.Seq[*tester.Chip], Td float
 				if !yield(q) {
 					return
 				}
+				// Free the yielded chip's window slot; every result holds
+				// exactly one, so this never blocks.
+				<-window
 			}
 		}
 	}

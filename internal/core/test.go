@@ -56,19 +56,22 @@ func NoHoldBounds(from, to int) float64 { return math.Inf(-1) }
 // alignment solver (the paper's Tt component). The context is checked before
 // every frequency step, so cancelling it aborts a long batch promptly.
 func RunBatchTest(ctx context.Context, sess tester.Session, c *circuit.Circuit, batch []int, b *Bounds, lambda LambdaFunc, cfg Config) (int, time.Duration, error) {
-	return runBatchTest(ctx, sess, c, batch, b, lambda, cfg, nil, 0, 0)
+	return runBatchTest(ctx, sess, c, batch, b, lambda, cfg, nil, 0, 0, &chipScratch{})
 }
 
-// runBatchTest is RunBatchTest with observer plumbing: chip is the die
+// runBatchTest is RunBatchTest with observer plumbing (chip is the die
 // index and batchIdx the batch's position in the plan, both only used to
-// tag events.
-func runBatchTest(ctx context.Context, sess tester.Session, c *circuit.Circuit, batch []int, b *Bounds, lambda LambdaFunc, cfg Config, obs Observer, chip, batchIdx int) (int, time.Duration, error) {
-	active := make([]int, 0, len(batch))
+// tag events) and a caller-owned scratch: the items, rank and active
+// buffers the loop refills every frequency step live there, so a warm
+// scratch makes the bookkeeping of the inner loop allocation-free.
+func runBatchTest(ctx context.Context, sess tester.Session, c *circuit.Circuit, batch []int, b *Bounds, lambda LambdaFunc, cfg Config, obs Observer, chip, batchIdx int, scr *chipScratch) (int, time.Duration, error) {
+	active := scr.active[:0]
 	for _, p := range batch {
 		if b.Width(p) >= cfg.Eps {
 			active = append(active, p)
 		}
 	}
+	scr.active = active[:0] // keep a grown backing array for the next batch
 	iters := 0
 	var alignDur time.Duration
 	maxIters := cfg.MaxIterPerPath * len(batch)
@@ -84,25 +87,28 @@ func runBatchTest(ctx context.Context, sess tester.Session, c *circuit.Circuit, 
 		if iters >= maxIters {
 			return iters, alignDur, fmt.Errorf("core: batch did not converge in %d iterations", maxIters)
 		}
-		items := make([]alignItem, len(active))
-		for i, p := range active {
+		items := scr.items[:0]
+		for _, p := range active {
 			pt := &c.Paths[p]
-			items[i] = alignItem{
+			items = append(items, alignItem{
 				path: p, from: pt.From, to: pt.To,
 				lo: b.Lo[p], hi: b.Hi[p],
 				lambda: lambda(pt.From, pt.To),
-			}
+			})
 		}
-		assignWeights(items, cfg.WeightK0, cfg.WeightKd)
+		scr.items = items[:0]
+		scr.order = assignWeightsInto(items, cfg.WeightK0, cfg.WeightKd, scr.order)
 
 		start := time.Now()
-		res, err := alignSolve(c, items, prevX, cfg)
+		res, err := alignSolve(c, items, prevX, cfg, &scr.al)
 		solveDur := time.Since(start)
 		alignDur += solveDur
 		if err != nil {
 			return iters, alignDur, err
 		}
-		observe(obs, AlignSolveEvent{Chip: chip, Batch: batchIdx, Period: res.T, Duration: solveDur})
+		if obs != nil {
+			obs.Observe(AlignSolveEvent{Chip: chip, Batch: batchIdx, Period: res.T, Duration: solveDur})
+		}
 		prevX = res.X
 
 		applied, pass, err := sess.Step(res.T, res.X, active)
@@ -110,7 +116,9 @@ func runBatchTest(ctx context.Context, sess tester.Session, c *circuit.Circuit, 
 			return iters, alignDur, err
 		}
 		iters++
-		observe(obs, FrequencyStepEvent{Chip: chip, Batch: batchIdx, Requested: res.T, Applied: applied, Active: len(active)})
+		if obs != nil {
+			obs.Observe(FrequencyStepEvent{Chip: chip, Batch: batchIdx, Requested: res.T, Applied: applied, Active: len(active)})
+		}
 
 		progressed := false
 		next := active[:0]
@@ -149,7 +157,9 @@ func runBatchTest(ctx context.Context, sess tester.Session, c *circuit.Circuit, 
 				return iters, alignDur, err
 			}
 			iters++
-			observe(obs, FrequencyStepEvent{Chip: chip, Batch: batchIdx, Requested: tSolo, Applied: appliedSolo, Active: 1})
+			if obs != nil {
+				obs.Observe(FrequencyStepEvent{Chip: chip, Batch: batchIdx, Requested: tSolo, Applied: appliedSolo, Active: 1})
+			}
 			tt := appliedSolo - res.X[pt.From] + res.X[pt.To]
 			if passSolo[0] {
 				if tt < b.Hi[p] {

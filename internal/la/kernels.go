@@ -1,0 +1,119 @@
+package la
+
+import "fmt"
+
+// This file holds the allocation-free kernel layer: in-place variants of the
+// package's matrix-vector operations plus a reusable Workspace arena. The
+// kernels perform exactly the same floating-point operations in exactly the
+// same order as their allocating counterparts (MulVec, SolveLower,
+// SolveUpperT, CholSolve), so switching a call site to the *To form never
+// changes a result bit — only where the output lands.
+
+// Workspace is a reusable arena of float64 scratch for the in-place kernels.
+// A hot loop takes slices per iteration and calls Reset between iterations;
+// after the arena has grown to its steady-state size, Take never allocates.
+// A Workspace is not safe for concurrent use — give each worker its own.
+type Workspace struct {
+	buf  []float64
+	used int
+}
+
+// Reset recycles the arena: every slice previously returned by Take remains
+// valid (it aliases the old backing array) but the capacity is reusable.
+func (w *Workspace) Reset() { w.used = 0 }
+
+// Require grows the arena so that Takes totalling n floats will not
+// allocate. It does not disturb slices already taken.
+func (w *Workspace) Require(n int) {
+	if w.used+n > len(w.buf) {
+		w.grow(n)
+	}
+}
+
+// Take returns a length-n scratch slice from the arena. The contents are
+// unspecified — callers must fully overwrite before reading. Taking beyond
+// the current capacity allocates a larger backing array (slices taken
+// earlier stay valid on the old one); pre-size with Require to keep the
+// steady state allocation-free.
+func (w *Workspace) Take(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("la: workspace take %d", n))
+	}
+	if w.used+n > len(w.buf) {
+		w.grow(n)
+	}
+	s := w.buf[w.used : w.used+n : w.used+n]
+	w.used += n
+	return s
+}
+
+func (w *Workspace) grow(n int) {
+	newLen := 2 * len(w.buf)
+	if newLen < w.used+n {
+		newLen = w.used + n
+	}
+	// Slices already taken keep aliasing the old array; the region below
+	// w.used in the new array is simply unused until the next Reset.
+	w.buf = make([]float64, newLen)
+}
+
+// RowView returns row r as a slice aliasing the matrix storage — the
+// zero-copy counterpart of Row. The caller must not grow it.
+func (m *Matrix) RowView(r int) []float64 {
+	return m.Data[r*m.Cols : (r+1)*m.Cols : (r+1)*m.Cols]
+}
+
+// MulVecTo computes dst = m*v without allocating. dst must have length
+// m.Rows and must not alias v. Bit-identical to MulVec.
+func MulVecTo(dst []float64, m *Matrix, v []float64) {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("la: mulvec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("la: mulvec dst length %d != %d rows", len(dst), m.Rows))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		s := 0.0
+		for c, a := range row {
+			s += a * v[c]
+		}
+		dst[r] = s
+	}
+}
+
+// SolveLowerTo solves L*y = b into dst where L is lower triangular with
+// nonzero diagonal. dst may alias b (forward substitution reads b[i] before
+// writing dst[i]). Bit-identical to SolveLower.
+func SolveLowerTo(dst []float64, l *Matrix, b []float64) {
+	n := l.Rows
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * dst[k]
+		}
+		dst[i] = s / l.At(i, i)
+	}
+}
+
+// SolveUpperTTo solves Lᵀ*x = y into dst given the lower-triangular L. dst
+// may alias y (back substitution reads y[i] before writing dst[i]).
+// Bit-identical to SolveUpperT.
+func SolveUpperTTo(dst []float64, l *Matrix, y []float64) {
+	n := l.Rows
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * dst[k]
+		}
+		dst[i] = s / l.At(i, i)
+	}
+}
+
+// SolveCholeskyTo solves A*x = b into dst given the Cholesky factor L of A,
+// without allocating. dst may alias b — the common fully-in-place call is
+// SolveCholeskyTo(x, l, x). Bit-identical to CholSolve.
+func SolveCholeskyTo(dst []float64, l *Matrix, b []float64) {
+	SolveLowerTo(dst, l, b)
+	SolveUpperTTo(dst, l, dst)
+}

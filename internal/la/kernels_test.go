@@ -1,0 +1,115 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randSPD(r *rand.Rand, n int) *Matrix {
+	g := NewMatrix(n, n)
+	for i := range g.Data {
+		g.Data[i] = r.NormFloat64()
+	}
+	a := g.Mul(g.T())
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n)) // well-conditioned
+	}
+	return a
+}
+
+// TestKernelsBitIdentical pins the contract the conditional-prediction fast
+// path relies on: the *To kernels produce bit-for-bit the same floats as
+// their allocating counterparts, including when solving fully in place.
+func TestKernelsBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 8, 17, 40} {
+		a := randSPD(r, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+
+		wantY := SolveLower(l, b)
+		gotY := make([]float64, n)
+		SolveLowerTo(gotY, l, b)
+		wantX := SolveUpperT(l, wantY)
+		gotX := make([]float64, n)
+		SolveUpperTTo(gotX, l, wantY)
+		wantC := CholSolve(l, b)
+		inPlace := append([]float64{}, b...)
+		SolveCholeskyTo(inPlace, l, inPlace)
+		for i := 0; i < n; i++ {
+			if gotY[i] != wantY[i] {
+				t.Fatalf("n=%d: SolveLowerTo[%d] = %v, want %v", n, i, gotY[i], wantY[i])
+			}
+			if gotX[i] != wantX[i] {
+				t.Fatalf("n=%d: SolveUpperTTo[%d] = %v, want %v", n, i, gotX[i], wantX[i])
+			}
+			if inPlace[i] != wantC[i] {
+				t.Fatalf("n=%d: SolveCholeskyTo in place [%d] = %v, want %v", n, i, inPlace[i], wantC[i])
+			}
+		}
+
+		m := NewMatrix(n, n+3)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		v := make([]float64, n+3)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		wantMV := m.MulVec(v)
+		gotMV := make([]float64, n)
+		MulVecTo(gotMV, m, v)
+		for i := range wantMV {
+			if gotMV[i] != wantMV[i] {
+				t.Fatalf("n=%d: MulVecTo[%d] = %v, want %v", n, i, gotMV[i], wantMV[i])
+			}
+		}
+	}
+}
+
+func TestRowView(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	rv := m.RowView(1)
+	if rv[0] != 3 || rv[1] != 4 {
+		t.Fatalf("RowView(1) = %v", rv)
+	}
+	rv[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("RowView must alias matrix storage")
+	}
+}
+
+// TestWorkspaceReuse asserts the arena contract: slices taken before a grow
+// stay valid, and after warm-up Take/Reset cycles never allocate.
+func TestWorkspaceReuse(t *testing.T) {
+	var ws Workspace
+	a := ws.Take(4)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	b := ws.Take(100) // forces growth; a must stay intact
+	_ = b
+	for i := range a {
+		if a[i] != float64(i) {
+			t.Fatalf("slice taken before growth was clobbered: %v", a)
+		}
+	}
+
+	ws.Reset()
+	ws.Require(128)
+	allocs := testing.AllocsPerRun(50, func() {
+		ws.Reset()
+		x := ws.Take(64)
+		y := ws.Take(64)
+		x[0], y[0] = 1, 2
+	})
+	if allocs != 0 {
+		t.Fatalf("warm workspace Take allocated %.1f times per run", allocs)
+	}
+}

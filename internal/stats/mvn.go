@@ -86,6 +86,12 @@ func (m *MVN) SampleN(r *rand.Rand, n int) (*la.Matrix, error) {
 //	Σ'  = Σ_u − Σ_ut Σ_t⁻¹ Σ_tu
 //
 // The returned MVN has dimension len(unknown). Indices must be disjoint.
+//
+// Conditional is a thin wrapper over Predictor: it builds the prefactored
+// kernel, applies it to one observation vector, and discards it. Callers
+// that condition the same (unknown, known) split on many observation
+// vectors should hold a CondPredictor instead — the factorization and the
+// conditional covariance then happen once.
 func (m *MVN) Conditional(unknown, known []int, observed []float64) (*MVN, error) {
 	if len(known) != len(observed) {
 		return nil, errors.New("stats: observed values length mismatch")
@@ -97,6 +103,45 @@ func (m *MVN) Conditional(unknown, known []int, observed []float64) (*MVN, error
 			mu[i] = m.Mu[u]
 		}
 		return NewMVN(mu, sub)
+	}
+	p, err := m.Predictor(unknown, known)
+	if err != nil {
+		return nil, err
+	}
+	mu := make([]float64, len(unknown))
+	var ws la.Workspace
+	p.MuTo(mu, observed, &ws)
+	return NewMVN(mu, p.SigmaPrime)
+}
+
+// CondPredictor is the prefactored conditional-estimation kernel behind
+// Conditional: for one fixed (unknown, known) index split it holds the
+// ridged Cholesky factor of Σ_t, the cross-covariance Σ_ut, the prior means
+// and the (observation-independent) conditional covariance Σ′ of Eq. (5).
+// Applying it to an observation vector (MuTo, Eq. 4) reduces to two
+// triangular solves and one matrix-vector product — no factorization and,
+// given a warm Workspace, no allocation. A CondPredictor is immutable after
+// construction and safe for concurrent use with per-caller workspaces.
+type CondPredictor struct {
+	// MuT / MuU are the prior means of the known / unknown variables, in
+	// split order.
+	MuT, MuU []float64
+	// LT is the (possibly ridged) Cholesky factor of Σ_t.
+	LT *la.Matrix
+	// SigUT is the cross-covariance Σ_ut (rows: unknown, cols: known).
+	SigUT *la.Matrix
+	// SigmaPrime is the conditional covariance Σ′ (Eq. 5) — diagonal-clamped
+	// and symmetrized exactly as Conditional returns it.
+	SigmaPrime *la.Matrix
+}
+
+// Predictor prefactorizes the conditional distribution of the variables at
+// `unknown` given observations of the variables at `known`. The index sets
+// must be disjoint and known must be non-empty. The floating-point results
+// are bit-identical to what Conditional computes from the same split.
+func (m *MVN) Predictor(unknown, known []int) (*CondPredictor, error) {
+	if len(known) == 0 {
+		return nil, errors.New("stats: predictor requires at least one known index")
 	}
 	seen := map[int]bool{}
 	for _, k := range known {
@@ -117,16 +162,13 @@ func (m *MVN) Conditional(unknown, known []int, observed []float64) (*MVN, error
 		return nil, fmt.Errorf("stats: conditional: Σ_t not factorizable: %w", err)
 	}
 
-	// delta = observed - μ_t ; w = Σ_t⁻¹ delta.
-	delta := make([]float64, len(known))
+	muT := make([]float64, len(known))
 	for i, k := range known {
-		delta[i] = observed[i] - m.Mu[k]
+		muT[i] = m.Mu[k]
 	}
-	w := la.CholSolve(lt, delta)
-
-	muPrime := make([]float64, len(unknown))
+	muU := make([]float64, len(unknown))
 	for i, u := range unknown {
-		muPrime[i] = m.Mu[u] + la.Dot(sigUT.Row(i), w)
+		muU[i] = m.Mu[u]
 	}
 
 	// Σ' = Σ_u − Σ_ut Σ_t⁻¹ Σ_tu. Solve per column of Σ_tu = Σ_utᵀ.
@@ -158,5 +200,37 @@ func (m *MVN) Conditional(unknown, known []int, observed []float64) (*MVN, error
 			sigPrime.Set(j, i, v)
 		}
 	}
-	return NewMVN(muPrime, sigPrime)
+	return &CondPredictor{MuT: muT, MuU: muU, LT: lt, SigUT: sigUT, SigmaPrime: sigPrime}, nil
+}
+
+// NumKnown returns the number of observed variables the predictor expects.
+func (p *CondPredictor) NumKnown() int { return len(p.MuT) }
+
+// NumUnknown returns the number of predicted variables.
+func (p *CondPredictor) NumUnknown() int { return len(p.MuU) }
+
+// ScratchLen returns the workspace floats one MuTo call takes.
+func (p *CondPredictor) ScratchLen() int { return len(p.MuT) }
+
+// MuTo computes the conditional mean μ' (Eq. 4) for one observation vector
+// into dst (length NumUnknown), taking ScratchLen floats from ws. With a
+// warm workspace the call performs no heap allocation. The result is
+// bit-identical to the Mu of the MVN Conditional returns for the same
+// observations.
+func (p *CondPredictor) MuTo(dst, observed []float64, ws *la.Workspace) {
+	if len(observed) != len(p.MuT) {
+		panic(fmt.Sprintf("stats: predictor observed length %d != %d known", len(observed), len(p.MuT)))
+	}
+	// delta = observed - μ_t ; w = Σ_t⁻¹ delta, solved in place.
+	delta := ws.Take(len(observed))
+	for i := range observed {
+		delta[i] = observed[i] - p.MuT[i]
+	}
+	la.SolveCholeskyTo(delta, p.LT, delta)
+	// μ' = μ_u + Σ_ut·w. Addition is commutative, so accumulating the
+	// product first is bit-identical to μ_u + dot(row, w).
+	la.MulVecTo(dst, p.SigUT, delta)
+	for i := range dst {
+		dst[i] += p.MuU[i]
+	}
 }

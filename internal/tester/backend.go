@@ -14,6 +14,12 @@ type Session interface {
 	// report per-path pass (true = setup met). It returns the period the
 	// hardware actually applied (e.g. rounded to the clock-generator grid)
 	// so the caller updates delay bounds consistently with reality.
+	//
+	// The x and batch slices are only valid for the duration of the call —
+	// the flow reuses its solver buffers across iterations — so an
+	// implementation that stores them (a trace recorder, a hardware queue)
+	// must copy. Symmetrically, the caller treats the returned pass slice
+	// as valid only until the next Step.
 	Step(T float64, x []float64, batch []int) (applied float64, pass []bool, err error)
 	// Counters reports the session's accounting so far: frequency-step
 	// iterations applied and configuration bits shifted through the scan

@@ -1,0 +1,118 @@
+// Differential suite for the prediction kernels: the plan-time prefactored
+// fast path (kernels baked at Prepare/Bind, applied per chip without
+// allocation) must be bit-for-bit identical to the naive per-chip
+// groupMVN+Conditional path across the conformance scenario matrix. Any
+// single-ULP drift here would silently invalidate the golden corpus.
+package effitest_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"effitest/internal/conformance"
+	"effitest/internal/core"
+)
+
+// differentialScenarios picks the pipeline cells of the conformance matrix:
+// every tiny64 cell always, and under full (non-short) runs one heavy cell
+// per Table-1 circuit so the big-group kernels are exercised too.
+func differentialScenarios(t *testing.T) []conformance.Scenario {
+	t.Helper()
+	var out []conformance.Scenario
+	for _, sc := range conformance.DefaultMatrix() {
+		if sc.Kind != conformance.KindPipeline {
+			continue
+		}
+		if sc.Heavy {
+			if testing.Short() {
+				continue
+			}
+			// One cell per heavy circuit keeps the full suite's runtime
+			// bounded; the remaining axes are covered by tiny64.
+			if sc.Align != core.AlignHeuristic || sc.Eps != 0.002 || sc.Seed != 1 {
+				continue
+			}
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// TestPredictKernelsMatchNaive runs every differential scenario's chip fleet
+// twice — once through the baked kernels, once through the naive
+// groupMVN+Conditional path — and requires bitwise-equal outcomes: bounds,
+// buffer values, ξ, iteration counts and pass/fail.
+func TestPredictKernelsMatchNaive(t *testing.T) {
+	ctx := context.Background()
+	for _, sc := range differentialScenarios(t) {
+		t.Run(sc.Name(), func(t *testing.T) {
+			res, err := conformance.RunPipeline(ctx, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive := res.Engine.Plan().WithoutPredictorKernels()
+			td := res.Engine.Period()
+			for i, ch := range res.Chips {
+				want := res.Outs[i] // kernel-path outcome
+				got, err := naive.RunChipCtx(ctx, ch, td)
+				if err != nil {
+					t.Fatalf("chip %d naive run: %v", i, err)
+				}
+				if got.Iterations != want.Iterations || got.ScanBits != want.ScanBits {
+					t.Fatalf("chip %d: iterations/scan diverge: naive (%d, %d) vs kernel (%d, %d)",
+						i, got.Iterations, got.ScanBits, want.Iterations, want.ScanBits)
+				}
+				if got.Configured != want.Configured || got.Passed != want.Passed || got.Xi != want.Xi {
+					t.Fatalf("chip %d: configuration diverges: naive (%v, %v, %v) vs kernel (%v, %v, %v)",
+						i, got.Configured, got.Passed, got.Xi, want.Configured, want.Passed, want.Xi)
+				}
+				for p := range got.Bounds.Lo {
+					if got.Bounds.Lo[p] != want.Bounds.Lo[p] || got.Bounds.Hi[p] != want.Bounds.Hi[p] {
+						t.Fatalf("chip %d path %d: bounds diverge: naive [%v, %v] vs kernel [%v, %v]",
+							i, p, got.Bounds.Lo[p], got.Bounds.Hi[p], want.Bounds.Lo[p], want.Bounds.Hi[p])
+					}
+				}
+				for f := range got.X {
+					if got.X[f] != want.X[f] {
+						t.Fatalf("chip %d buffer %d: %v (naive) != %v (kernel)", i, f, got.X[f], want.X[f])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictorSigmasMatchNaive pins the baked conditional sigmas bitwise
+// against the naive PredictSigmas evaluated at the plan's tested set.
+func TestPredictorSigmasMatchNaive(t *testing.T) {
+	ctx := context.Background()
+	for _, sc := range differentialScenarios(t) {
+		t.Run(sc.Name(), func(t *testing.T) {
+			res, err := conformance.RunPipeline(ctx, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := res.Engine.Plan()
+			baked := plan.PredictorSigmas()
+			if baked == nil {
+				t.Fatal("prepared plan has no baked kernels")
+			}
+			naive, err := core.PredictSigmas(res.Circuit, plan.Groups, plan.Tested)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(baked) != len(naive) {
+				t.Fatalf("length mismatch: %d vs %d", len(baked), len(naive))
+			}
+			for p := range baked {
+				if math.IsNaN(baked[p]) != math.IsNaN(naive[p]) {
+					t.Fatalf("path %d: NaN disagreement: baked %v, naive %v", p, baked[p], naive[p])
+				}
+				if !math.IsNaN(baked[p]) && baked[p] != naive[p] {
+					t.Fatalf("path %d: σ′ diverges: baked %v, naive %v", p, baked[p], naive[p])
+				}
+			}
+		})
+	}
+}

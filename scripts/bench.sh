@@ -3,8 +3,9 @@
 # trajectory is tracked PR over PR (BENCH_<pr>.json at the repo root).
 #
 # Usage (from the repository root):
-#   scripts/bench.sh                    # fast subset, 1 op each -> BENCH_4.json
-#   BENCH_OUT=BENCH_5.json scripts/bench.sh
+#   scripts/bench.sh                    # fast subset, 1 op each -> BENCH_5.json
+#   BENCH_OUT=BENCH_6.json scripts/bench.sh
+#   BENCH_SHORT=1 scripts/bench.sh      # FlowChip only (CI bench-regression smoke)
 #   BENCH_PATTERN='Benchmark' BENCH_TIME=2s scripts/bench.sh   # everything, timed
 set -eu
 
@@ -13,10 +14,20 @@ set -eu
 # BenchmarkCampaignThroughput tracks fleet chips/s two ways — in-process
 # manager vs HTTP loopback — so service overhead is visible PR over PR.
 BENCH_PATTERN="${BENCH_PATTERN:-BenchmarkFlowChip|BenchmarkEngineRunChips|BenchmarkPrepare|BenchmarkAblationAlignSolver|BenchmarkCampaignThroughput}"
+BENCH_PKGS=". ./fleet"
+
+# Short mode: the per-chip online flow only (ns/op + allocs/op), the numbers
+# the bench-regression CI job gates on.
+if [ "${BENCH_SHORT:-}" = 1 ]; then
+  BENCH_PATTERN='BenchmarkFlowChip'
+  BENCH_PKGS="."
+fi
+
 BENCH_TIME="${BENCH_TIME:-1x}"
-BENCH_OUT="${BENCH_OUT:-BENCH_4.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_5.json}"
 BENCH_LABEL="${BENCH_LABEL:-${BENCH_OUT%.json}}"
 
-go test -run '^$' -bench "$BENCH_PATTERN" -benchtime "$BENCH_TIME" . ./fleet |
+# shellcheck disable=SC2086 — BENCH_PKGS is a deliberate word list.
+go test -run '^$' -bench "$BENCH_PATTERN" -benchtime "$BENCH_TIME" $BENCH_PKGS |
   tee /dev/stderr |
   go run ./cmd/benchjson -label "$BENCH_LABEL" -o "$BENCH_OUT"
