@@ -1,0 +1,175 @@
+// Command effitest-coord runs one chip campaign across a fleet of
+// effitestd daemons: it shards the population over the nodes, pre-pushes
+// the plan artifact, streams and merges per-shard results, retries
+// transient failures with backoff, and rebalances a dead node's chips onto
+// survivors — emitting per-chip results and an aggregate bit-identical to
+// a single-node run.
+//
+// Usage:
+//
+//	effitest-coord -nodes http://n1:8087,http://n2:8087,http://n3:8087 \
+//	  -circuit s9234 -gen-seed 1 -align heuristic -quantile 0.8413 \
+//	  -chips 1000 -chip-seed 7
+//
+// The merged aggregate is written to stdout as canonical JSON — the same
+// bytes a single daemon's /aggregate endpoint serves, so the two diff
+// exactly. -results streams the merged per-chip NDJSON to stdout instead
+// (the aggregate then goes to the -aggregate-out path, if given).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"effitest/fleet/coord"
+	"effitest/fleet/httpapi"
+)
+
+func main() {
+	var (
+		nodes     = flag.String("nodes", "", "comma-separated effitestd base URLs (required)")
+		circuitN  = flag.String("circuit", "", "Table-1 benchmark profile name")
+		custom    = flag.String("custom", "", "synthetic profile name:ffs:gates:buffers:paths")
+		netlist   = flag.String("netlist", "", "netlist file to submit inline")
+		genSeed   = flag.Int64("gen-seed", 1, "benchmark generator seed")
+		align     = flag.String("align", "", "alignment solver: heuristic|fast-milp|paper-ilp|off")
+		eps       = flag.Float64("eps", 0, "delay-range termination threshold (0 = paper default)")
+		seed      = flag.Int64("seed", 0, "master random seed (0 = paper default)")
+		period    = flag.Float64("period", 0, "pinned test period Td in ns (0 = calibrate)")
+		quantile  = flag.Float64("quantile", 0, "period calibration quantile (0 = paper default)")
+		calib     = flag.Int("calib-chips", 0, "period calibration Monte-Carlo chips")
+		chips     = flag.Int("chips", 100, "campaign population size")
+		chipSeed  = flag.Int64("chip-seed", 7, "chip population seed")
+		chipFirst = flag.Int("chip-first", 0, "population start index (shard of a larger lot)")
+		planPath  = flag.String("plan", "", "plan artifact to pre-push to every node")
+		name      = flag.String("name", "coord", "campaign name")
+		results   = flag.Bool("results", false, "stream merged per-chip NDJSON to stdout")
+		aggOut    = flag.String("aggregate-out", "", "write the aggregate JSON to this path (default stdout unless -results)")
+		attempts  = flag.Int("retry-attempts", 5, "max tries per operation before a node is declared dead")
+		base      = flag.Duration("retry-base", 100*time.Millisecond, "backoff base delay")
+		maxDelay  = flag.Duration("retry-max", 5*time.Second, "backoff cap")
+		jitter    = flag.Float64("retry-jitter", 0.2, "backoff jitter fraction in [0,1)")
+	)
+	flag.Parse()
+
+	urls := splitNonEmpty(*nodes)
+	if len(urls) == 0 {
+		fatal(fmt.Errorf("-nodes is required (comma-separated base URLs)"))
+	}
+	spec := coord.Spec{
+		Name: *name,
+		Config: httpapi.ConfigSpec{
+			Align: *align, Eps: *eps, Seed: *seed,
+			Period: *period, Quantile: *quantile, CalibChips: *calib,
+		},
+		Chips: httpapi.ChipSpec{Seed: *chipSeed, Count: *chips, First: *chipFirst},
+	}
+	switch {
+	case *netlist != "":
+		data, err := os.ReadFile(*netlist)
+		fatal(err)
+		spec.Circuit = httpapi.CircuitSpec{Netlist: string(data)}
+	case *custom != "":
+		p, err := parseCustom(*custom)
+		fatal(err)
+		spec.Circuit = httpapi.CircuitSpec{Custom: p, GenSeed: *genSeed}
+	case *circuitN != "":
+		spec.Circuit = httpapi.CircuitSpec{Profile: *circuitN, GenSeed: *genSeed}
+	default:
+		fatal(fmt.Errorf("one of -circuit, -custom or -netlist is required"))
+	}
+	if *planPath != "" {
+		data, err := os.ReadFile(*planPath)
+		fatal(err)
+		spec.Plan = data
+	}
+
+	co, err := coord.New(urls, coord.WithRetryPolicy(coord.RetryPolicy{
+		MaxAttempts: *attempts, Base: *base, Max: *maxDelay, Jitter: *jitter,
+	}))
+	fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	run, err := co.Start(ctx, spec)
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "effitest-coord: %d chips across %d nodes\n", run.Total(), len(urls))
+
+	if *results {
+		enc := json.NewEncoder(os.Stdout)
+		for res, err := range run.Results(ctx) {
+			fatal(err)
+			fatal(enc.Encode(res))
+		}
+	}
+	sum, err := run.Wait(ctx)
+	fatal(err)
+
+	fmt.Fprintf(os.Stderr, "effitest-coord: done in %s: %d chips, period %.6g, %d retries, %d rebalanced",
+		time.Since(start).Round(time.Millisecond), sum.Chips, sum.Period, sum.Retries, sum.RebalancedChips)
+	if len(sum.DeadNodes) > 0 {
+		fmt.Fprintf(os.Stderr, ", nodes lost: %s", strings.Join(sum.DeadNodes, ","))
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, a := range sum.Assignments {
+		fmt.Fprintf(os.Stderr, "effitest-coord:   shard [%d+%d) -> %s\n", a.First, a.Count, a.Node)
+	}
+
+	out := os.Stdout
+	if *aggOut != "" {
+		f, err := os.Create(*aggOut)
+		fatal(err)
+		defer f.Close()
+		out = f
+	} else if *results {
+		return // NDJSON went to stdout; no aggregate sink requested
+	}
+	// Canonical form: the identical bytes a daemon's /aggregate serves.
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	fatal(enc.Encode(sum.Aggregate))
+}
+
+// parseCustom parses name:ffs:gates:buffers:paths.
+func parseCustom(s string) (*httpapi.CustomProfile, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 5 {
+		return nil, fmt.Errorf("-custom wants name:ffs:gates:buffers:paths, got %q", s)
+	}
+	nums := make([]int, 4)
+	for i, p := range parts[1:] {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("-custom field %d: %v", i+2, err)
+		}
+		nums[i] = n
+	}
+	return &httpapi.CustomProfile{Name: parts[0], FFs: nums[0], Gates: nums[1], Buffers: nums[2], Paths: nums[3]}, nil
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "effitest-coord:", err)
+		os.Exit(1)
+	}
+}

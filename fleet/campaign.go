@@ -7,6 +7,7 @@ import (
 	"iter"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"effitest"
@@ -67,6 +68,13 @@ type CampaignSpec struct {
 	// Engine.SampleChips) when Chips is nil.
 	ChipSeed  int64
 	ChipCount int
+	// ChipFirst offsets the sampled population: the campaign runs the chips
+	// with manufacturing indices [ChipFirst, ChipFirst+ChipCount) of the
+	// ChipSeed-keyed population (see Engine.SampleChipRange). A coordinator
+	// shards one logical population across daemons by submitting each node
+	// a different range of the same seed; per-chip numbers are identical to
+	// a single campaign over the whole population.
+	ChipFirst int
 }
 
 // Status is a point-in-time snapshot of a campaign.
@@ -309,7 +317,7 @@ func (c *Campaign) prepare(spec CampaignSpec) {
 	}
 	chips := spec.Chips
 	if chips == nil {
-		if chips, err = eng.SampleChips(c.ctx, spec.ChipSeed, spec.ChipCount); err != nil {
+		if chips, err = eng.SampleChipRange(c.ctx, spec.ChipSeed, spec.ChipFirst, spec.ChipCount); err != nil {
 			c.failPrep(err)
 			return
 		}
@@ -363,6 +371,7 @@ func (c *Campaign) run(idx int) {
 	} else {
 		res.Outcome, res.Err = eng.RunChip(c.ctx, ch)
 	}
+	c.m.chipsExecuted.Add(1)
 	c.deliver(res)
 }
 
@@ -408,6 +417,8 @@ type Manager struct {
 	reg     *Registry
 	workers int
 	plans   *PlanStore
+
+	chipsExecuted atomic.Int64 // chips run on the pool since start
 
 	jobs           chan job
 	wake           chan struct{}
@@ -520,6 +531,9 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 	if spec.Chips != nil && len(spec.Chips) == 0 {
 		return nil, fmt.Errorf("fleet: campaign chip population is empty")
 	}
+	if spec.ChipFirst < 0 {
+		return nil, fmt.Errorf("fleet: campaign chip range start must be non-negative, got %d", spec.ChipFirst)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Campaign{
 		name:      spec.Name,
@@ -546,6 +560,67 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 
 	go c.prepare(spec)
 	return c, nil
+}
+
+// ManagerStats is a point-in-time snapshot of the manager's load: the
+// campaign table by state plus the chip-level gauges a coordinator uses for
+// least-loaded shard placement. Everything is a plain counter — cheap to
+// serve on a hot /stats endpoint.
+type ManagerStats struct {
+	// Workers is the resolved size of the shared execution pool.
+	Workers int
+	// Campaign counts by lifecycle state; Campaigns is their sum.
+	Campaigns          int
+	CampaignsQueued    int
+	CampaignsRunning   int
+	CampaignsDone      int
+	CampaignsCancelled int
+	CampaignsFailed    int
+	// ChipsExecuted counts chips run on the pool since start (including
+	// chips whose campaign context was already cancelled when they ran).
+	ChipsExecuted int64
+	// ChipsPending counts resolved chips not yet handed to the pool;
+	// ChipsInFlight counts dispatched chips without a result yet. Together
+	// they are the backlog a new shard would queue behind.
+	ChipsPending  int
+	ChipsInFlight int
+}
+
+// Stats snapshots the manager's campaign and chip counters.
+func (m *Manager) Stats() ManagerStats {
+	st := ManagerStats{Workers: m.workers, ChipsExecuted: m.chipsExecuted.Load()}
+	m.mu.Lock()
+	camps := slices.Clone(m.order)
+	dispatched := make([]int, len(camps))
+	for i, c := range camps {
+		dispatched[i] = c.nextDispatch
+	}
+	m.mu.Unlock()
+	for i, c := range camps {
+		c.mu.Lock()
+		st.Campaigns++
+		switch c.state {
+		case StateQueued:
+			st.CampaignsQueued++
+		case StateRunning:
+			st.CampaignsRunning++
+		case StateDone:
+			st.CampaignsDone++
+		case StateCancelled:
+			st.CampaignsCancelled++
+		case StateFailed:
+			st.CampaignsFailed++
+		}
+		if c.results != nil && !c.state.Terminal() {
+			d := min(dispatched[i], len(c.results))
+			st.ChipsPending += len(c.results) - d
+			if inflight := d - c.completed; inflight > 0 {
+				st.ChipsInFlight += inflight
+			}
+		}
+		c.mu.Unlock()
+	}
+	return st
 }
 
 // Campaign looks a campaign up by ID.

@@ -18,6 +18,7 @@ import (
 	"io"
 	"iter"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -52,16 +53,19 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// apiError decodes the server's {"error": ...} document.
+// apiError decodes the server's {"error": ...} document into a typed
+// *APIError, so callers can classify the failure (see IsTransient) instead
+// of matching strings.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var doc struct {
 		Error string `json:"error"`
 	}
+	msg := string(bytes.TrimSpace(body))
 	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
-		return fmt.Errorf("effitestd: %s (HTTP %d)", doc.Error, resp.StatusCode)
+		msg = doc.Error
 	}
-	return fmt.Errorf("effitestd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
 }
 
 // doJSON performs one request and decodes the JSON response into out.
@@ -103,6 +107,17 @@ func (c *Client) Health(ctx context.Context) (httpapi.Health, error) {
 	return h, err
 }
 
+// Stats fetches /stats: the daemon's registry counters and campaign/chip
+// load gauges. The coordinator uses it for least-loaded shard placement.
+func (c *Client) Stats(ctx context.Context) (httpapi.Stats, error) {
+	var st httpapi.Stats
+	err := c.doJSON(ctx, http.MethodGet, "/stats", nil, &st)
+	return st, err
+}
+
+// Base returns the daemon base URL this client talks to.
+func (c *Client) Base() string { return c.base }
+
 // Submit submits a campaign and returns its initial (queued) status.
 func (c *Client) Submit(ctx context.Context, req httpapi.CampaignRequest) (httpapi.CampaignStatus, error) {
 	var st httpapi.CampaignStatus
@@ -143,8 +158,20 @@ func (c *Client) Aggregate(ctx context.Context, id string) (httpapi.Aggregate, e
 // staying attached until every chip resolves. A transport or decode
 // failure is yielded once as the second value and ends the stream.
 func (c *Client) StreamResults(ctx context.Context, id string) iter.Seq2[httpapi.ChipResult, error] {
+	return c.StreamResultsFrom(ctx, id, 0)
+}
+
+// StreamResultsFrom is StreamResults skipping the first `from` results: a
+// consumer whose stream broke after from results resumes at its first
+// unseen index instead of re-reading the prefix. The classification in
+// IsTransient tells a caller whether resuming is worth attempting.
+func (c *Client) StreamResultsFrom(ctx context.Context, id string, from int) iter.Seq2[httpapi.ChipResult, error] {
 	return func(yield func(httpapi.ChipResult, error) bool) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/campaigns/"+id+"/results", nil)
+		path := c.base + "/v1/campaigns/" + id + "/results"
+		if from > 0 {
+			path += "?from=" + strconv.Itoa(from)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
 		if err != nil {
 			yield(httpapi.ChipResult{}, err)
 			return
@@ -235,6 +262,16 @@ func (c *Client) UploadPlan(ctx context.Context, artifact []byte) (string, error
 		return "", err
 	}
 	return ref.ID, nil
+}
+
+// Plans lists the content addresses of every plan artifact stored on the
+// daemon. A coordinator pre-pushing a plan checks this list first, so the
+// artifact uploads at most once per node no matter how many campaigns
+// reference it.
+func (c *Client) Plans(ctx context.Context) ([]httpapi.PlanRef, error) {
+	var out []httpapi.PlanRef
+	err := c.doJSON(ctx, http.MethodGet, "/v1/plans", nil, &out)
+	return out, err
 }
 
 // DownloadPlan fetches a stored plan artifact by content address.

@@ -1,0 +1,86 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+)
+
+// ErrTransient marks failures worth retrying against the same daemon (or a
+// different one): the request may well succeed later, because nothing about
+// it was wrong — the daemon was overloaded, restarting, or the connection
+// died under it. Match with errors.Is:
+//
+//	if errors.Is(err, client.ErrTransient) { backoff and retry }
+//
+// Transient failures are: HTTP 5xx and 429 responses, connection
+// refused/reset/aborted, timeouts, and streams cut mid-body. Everything
+// else — 4xx responses (a malformed or unknown request stays malformed on
+// retry), decode errors, cancelled contexts — is permanent.
+//
+// The fleet coordinator's retry policy keys off this classification
+// instead of matching error strings.
+var ErrTransient = errors.New("transient fleet error")
+
+// APIError is a non-2xx response from the daemon, decoded from its
+// {"error": ...} document. It classifies itself: errors.Is(err,
+// ErrTransient) holds for 5xx and 429 status codes.
+type APIError struct {
+	// StatusCode is the HTTP status of the response.
+	StatusCode int
+	// Message is the daemon's error text (or the raw body when the error
+	// document did not decode).
+	Message string
+}
+
+// Error formats the daemon error with its status code.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("effitestd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Is reports ErrTransient for status codes a retry may outlive: every 5xx
+// (the daemon failed or is draining) and 429 (admission control).
+func (e *APIError) Is(target error) bool {
+	return target == ErrTransient && (e.StatusCode >= 500 || e.StatusCode == 429)
+}
+
+// IsTransient reports whether err should be retried: either an APIError
+// that classifies itself transient, or a transport-level failure
+// (connection refused/reset, timeout, stream cut mid-body). A nil error
+// and context cancellation are never transient.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	// Caller-side cancellation is a decision, not a failure. Deadline
+	// expiry is deliberately NOT here: an http.Client timeout surfaces as
+	// context.DeadlineExceeded and is a retryable slow peer; a caller
+	// retiring its own context must check that context itself.
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	// Connection-level failures: the peer is gone or rebooting.
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	// A body cut mid-stream (daemon killed while streaming NDJSON).
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	// net.Error timeouts (dial, TLS, response-header) — url.Error wraps
+	// these, and errors.As unwraps the chain.
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return true
+	}
+	// A dropped connection surfaces as *net.OpError on read/write.
+	var oerr *net.OpError
+	return errors.As(err, &oerr)
+}

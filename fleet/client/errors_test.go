@@ -1,0 +1,95 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/url"
+	"syscall"
+	"testing"
+)
+
+// timeoutErr is a minimal net.Error with Timeout() true.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"500", &APIError{StatusCode: 500, Message: "boom"}, true},
+		{"502", &APIError{StatusCode: 502, Message: "bad gateway"}, true},
+		{"503", &APIError{StatusCode: 503, Message: "draining"}, true},
+		{"429", &APIError{StatusCode: 429, Message: "slow down"}, true},
+		{"400", &APIError{StatusCode: 400, Message: "bad spec"}, false},
+		{"404", &APIError{StatusCode: 404, Message: "no such campaign"}, false},
+		{"409", &APIError{StatusCode: 409, Message: "conflict"}, false},
+		{"wrapped 503", fmt.Errorf("submit: %w", &APIError{StatusCode: 503}), true},
+		{"wrapped 404", fmt.Errorf("status: %w", &APIError{StatusCode: 404}), false},
+		{"conn refused", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		{"conn reset", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{"conn aborted", &net.OpError{Op: "read", Err: syscall.ECONNABORTED}, true},
+		{"epipe", &net.OpError{Op: "write", Err: syscall.EPIPE}, true},
+		{"refused via url.Error", &url.Error{Op: "Get", URL: "http://x", Err: &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}}, true},
+		{"stream cut mid-body", io.ErrUnexpectedEOF, true},
+		{"wrapped unexpected EOF", fmt.Errorf("decode: %w", io.ErrUnexpectedEOF), true},
+		{"closed pipe", io.ErrClosedPipe, true},
+		{"net timeout", timeoutErr{}, true},
+		{"url-wrapped timeout", &url.Error{Op: "Get", URL: "http://x", Err: timeoutErr{}}, true},
+		{"context canceled", context.Canceled, false},
+		{"wrapped cancel", fmt.Errorf("stream: %w", context.Canceled), false},
+		{"plain error", errors.New("decode failure"), false},
+		{"plain EOF", io.EOF, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("%s: IsTransient(%v) = %v, want %v", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// errors.Is(err, ErrTransient) is the public contract the coordinator
+// retries on; APIError classifies itself through it.
+func TestAPIErrorIsErrTransient(t *testing.T) {
+	if !errors.Is(&APIError{StatusCode: 500}, ErrTransient) {
+		t.Fatal("5xx APIError should match ErrTransient")
+	}
+	if !errors.Is(fmt.Errorf("wrap: %w", &APIError{StatusCode: 429}), ErrTransient) {
+		t.Fatal("wrapped 429 APIError should match ErrTransient")
+	}
+	if errors.Is(&APIError{StatusCode: 404}, ErrTransient) {
+		t.Fatal("404 APIError must not match ErrTransient")
+	}
+	if errors.Is(&APIError{StatusCode: 404}, errors.New("other")) {
+		t.Fatal("APIError.Is must only answer for ErrTransient")
+	}
+}
+
+func TestAPIErrorMessage(t *testing.T) {
+	err := &APIError{StatusCode: 503, Message: "draining"}
+	want := "effitestd: draining (HTTP 503)"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+// A deadline-expired context is deliberately transient-compatible only via
+// the net.Error path: a bare context.DeadlineExceeded (the caller's own
+// deadline, checked by the caller) still classifies as transient because
+// http.Client timeouts surface the same sentinel wrapped in url.Error with
+// Timeout() true. The coordinator guards its own context separately, so
+// both interpretations are safe; this test pins the current behaviour.
+func TestDeadlineExceededViaTransport(t *testing.T) {
+	werr := &url.Error{Op: "Get", URL: "http://x", Err: context.DeadlineExceeded}
+	if !IsTransient(werr) {
+		t.Fatal("an HTTP client timeout must classify transient")
+	}
+}

@@ -1,0 +1,75 @@
+package coord_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"effitest"
+	"effitest/fleet/coord"
+	"effitest/internal/conformance"
+)
+
+// BenchmarkCoordinatorThroughput measures end-to-end coordinated campaign
+// throughput (chips/s) against 1, 2 and 4 loopback daemons: shard
+// placement, HTTP submit, NDJSON streaming, in-order merge and aggregate
+// fold included. The plan artifact is pre-pushed so the numbers track
+// execution throughput, not per-run Prepare cost; scaling across the node
+// counts shows what the sharding layer buys on one machine.
+func BenchmarkCoordinatorThroughput(b *testing.B) {
+	var sc conformance.Scenario
+	found := false
+	for _, s := range conformance.DefaultMatrix() {
+		if s.Kind == conformance.KindPipeline && !s.Heavy &&
+			s.Align.String() == "heuristic" && s.Eps == 0.002 && s.Seed == 1 {
+			sc, found = s, true
+			break
+		}
+	}
+	if !found {
+		b.Fatal("tiny64 pipeline scenario missing from the conformance matrix")
+	}
+	inproc, err := conformance.RunPipeline(context.Background(), sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	artifact, err := effitest.EncodePlan(inproc.Engine.Plan())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const chipsPerRun = 64
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			nodes := startNodes(b, n, nil)
+			co, err := coord.New(urlsOf(nodes))
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec := tiny64Spec(sc)
+			spec.Chips.Count = chipsPerRun
+			spec.Plan = artifact
+			ctx := context.Background()
+
+			b.ResetTimer()
+			start := time.Now()
+			chips := 0
+			for i := 0; i < b.N; i++ {
+				run, err := co.Start(ctx, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum, err := run.Wait(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Chips != chipsPerRun {
+					b.Fatalf("run merged %d chips, want %d", sum.Chips, chipsPerRun)
+				}
+				chips += sum.Chips
+			}
+			b.ReportMetric(float64(chips)/time.Since(start).Seconds(), "chips/s")
+		})
+	}
+}

@@ -1,0 +1,310 @@
+package coord
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+
+	"effitest/fleet/client"
+	"effitest/fleet/httpapi"
+)
+
+// ErrNoHealthyNodes is returned (or recorded as a Run failure) when every
+// daemon in the pool is unreachable and chips remain unplaced.
+var ErrNoHealthyNodes = errors.New("coord: no healthy nodes")
+
+// node is one effitestd daemon in the coordinator's pool.
+type node struct {
+	url string
+	cl  *client.Client
+
+	mu    sync.Mutex
+	dead  bool
+	plans map[string]bool // plan content ids known to be stored on the node
+}
+
+func (n *node) alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.dead
+}
+
+func (n *node) setDead(dead bool) {
+	n.mu.Lock()
+	n.dead = dead
+	n.mu.Unlock()
+}
+
+// hasPlan reports (and claims, when claim is set) the pushed marker for a
+// plan id, so concurrent runs upload an artifact at most once per node.
+func (n *node) hasPlan(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.plans[id]
+}
+
+func (n *node) markPlan(id string) {
+	n.mu.Lock()
+	n.plans[id] = true
+	n.mu.Unlock()
+}
+
+// Coordinator drives one logical campaign across a pool of effitestd
+// daemons: it shards the chip population, pre-pushes the plan artifact,
+// streams per-shard results concurrently, merges them back into input
+// order with exactly-once emission, and retries/rebalances around node
+// failure. One Coordinator can run many campaigns; its node pool and
+// pushed-plan bookkeeping are shared across runs.
+type Coordinator struct {
+	nodes  []*node
+	clock  Clock
+	policy RetryPolicy
+	hc     *http.Client
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// Option configures a Coordinator.
+type Option func(*Coordinator) error
+
+// WithClock substitutes the sleep source used for retry backoff. Tests
+// inject a fake clock so the retry/rebalance suite completes in
+// milliseconds without real sleeps.
+func WithClock(c Clock) Option {
+	return func(co *Coordinator) error {
+		if c == nil {
+			return fmt.Errorf("coord: nil clock")
+		}
+		co.clock = c
+		return nil
+	}
+}
+
+// WithRetryPolicy replaces the default backoff shape (see
+// DefaultRetryPolicy).
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(co *Coordinator) error {
+		if err := p.validate(); err != nil {
+			return err
+		}
+		co.policy = p
+		return nil
+	}
+}
+
+// WithHTTPClient substitutes the http.Client used to talk to every node
+// (timeouts, test doubles). The default client has no overall timeout —
+// result streams are long-lived by design.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(co *Coordinator) error {
+		co.hc = hc
+		return nil
+	}
+}
+
+// WithJitterSeed seeds the deterministic jitter source (default seed 1).
+// Two coordinators with the same seed, policy and failure sequence sleep
+// the exact same backoff schedule — which is how the backoff tests assert
+// delays bit-exactly.
+func WithJitterSeed(seed int64) Option {
+	return func(co *Coordinator) error {
+		co.rng = rand.New(rand.NewSource(seed))
+		return nil
+	}
+}
+
+// New builds a coordinator over the daemons at the given base URLs (e.g.
+// "http://10.0.0.1:8087"). At least one node is required; health is probed
+// per run, not here, so a coordinator can be built while its fleet boots.
+func New(nodeURLs []string, opts ...Option) (*Coordinator, error) {
+	if len(nodeURLs) == 0 {
+		return nil, fmt.Errorf("coord: at least one node URL is required")
+	}
+	co := &Coordinator{
+		clock:  realClock{},
+		policy: DefaultRetryPolicy(),
+		rng:    rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		if err := o(co); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range nodeURLs {
+		var clOpts []client.Option
+		if co.hc != nil {
+			clOpts = append(clOpts, client.WithHTTPClient(co.hc))
+		}
+		co.nodes = append(co.nodes, &node{
+			url:   u,
+			cl:    client.New(u, clOpts...),
+			plans: map[string]bool{},
+		})
+	}
+	return co, nil
+}
+
+// Nodes returns the pool's base URLs in configuration order.
+func (co *Coordinator) Nodes() []string {
+	out := make([]string, len(co.nodes))
+	for i, n := range co.nodes {
+		out[i] = n.url
+	}
+	return out
+}
+
+// healthy snapshots the currently-alive nodes in configuration order.
+func (co *Coordinator) healthy() []*node {
+	var out []*node
+	for _, n := range co.nodes {
+		if n.alive() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Spec names one logical campaign to run across the fleet: the same
+// circuit/config/chips document a single daemon takes, plus an optional
+// pre-built plan artifact to pre-push.
+type Spec struct {
+	// Name labels the campaign; shard submissions carry "name[first+count)".
+	Name string
+	// Circuit and Config are the standard wire specs (see httpapi).
+	Circuit httpapi.CircuitSpec
+	Config  httpapi.ConfigSpec
+	// Chips is the logical population: Count chips sampled in (Seed, index)
+	// starting at First. The coordinator shards this range; every node sees
+	// the same Seed with a different sub-range, so per-chip numbers are
+	// bit-identical to one whole-range campaign.
+	Chips httpapi.ChipSpec
+	// Plan, when non-nil, is a serialized plan artifact (effitest.EncodePlan)
+	// pre-pushed to every healthy node before sharding. Artifacts are
+	// content-addressed — the id is the SHA-256 of the bytes, which covers
+	// the circuit and config fingerprints baked into the plan — so a node
+	// that already holds the artifact (checked via the plan-list endpoint)
+	// is not re-uploaded, within this coordinator or across its runs.
+	Plan []byte
+}
+
+// Start validates the spec, probes node health, pre-pushes the plan
+// artifact, plans shards by node load (least-loaded placement via /stats)
+// and launches one shard runner per node. It returns once every shard is
+// submitted to the merge machinery; consume the run with Results and Wait.
+// ctx governs the entire run — cancelling it aborts streaming and retries.
+func (co *Coordinator) Start(ctx context.Context, spec Spec) (*Run, error) {
+	if spec.Chips.Count <= 0 {
+		return nil, fmt.Errorf("coord: campaign needs a positive chip count")
+	}
+	if spec.Chips.First < 0 {
+		return nil, fmt.Errorf("coord: chip range start must be non-negative, got %d", spec.Chips.First)
+	}
+
+	r := newRun(co, ctx, spec)
+
+	// Probe every node (reviving previously-dead ones that answer), in
+	// parallel: a dead node costs MaxAttempts backoffs, and that must not
+	// serialize against the healthy nodes' probes.
+	var wg sync.WaitGroup
+	for _, n := range co.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			err := r.retry(ctx, func(ctx context.Context) error {
+				_, err := n.cl.Health(ctx)
+				return err
+			})
+			n.setDead(err != nil)
+		}(n)
+	}
+	wg.Wait()
+	healthy := co.healthy()
+	if len(healthy) == 0 {
+		r.cancel()
+		return nil, fmt.Errorf("%w: all %d probes failed", ErrNoHealthyNodes, len(co.nodes))
+	}
+
+	// Pre-push the plan artifact to every healthy node, dedup'd by content
+	// address: list-then-upload via the existing plan endpoints, remembered
+	// per node across runs. A node that cannot take the plan is dropped.
+	if spec.Plan != nil {
+		id := planID(spec.Plan)
+		r.planID = id
+		for _, n := range healthy {
+			if err := co.pushPlan(ctx, r, n, id, spec.Plan); err != nil {
+				n.setDead(true)
+			}
+		}
+		if healthy = co.healthy(); len(healthy) == 0 {
+			r.cancel()
+			return nil, fmt.Errorf("%w: plan push failed on every node", ErrNoHealthyNodes)
+		}
+	}
+
+	// Least-loaded placement: weight each node by its worker count over its
+	// chip backlog (from /stats; a node whose stats probe fails gets a
+	// neutral weight rather than being dropped — /healthz already passed).
+	weights := make([]float64, len(healthy))
+	for i, n := range healthy {
+		weights[i] = 1
+		if st, err := n.cl.Stats(ctx); err == nil {
+			workers := max(st.Workers, 1)
+			weights[i] = float64(workers) / float64(1+st.ChipsPending+st.ChipsInFlight)
+		}
+	}
+	counts := splitByWeight(spec.Chips.Count, weights)
+	pos := 0
+	for i, n := range healthy {
+		if counts[i] == 0 {
+			continue
+		}
+		r.launch(n, pos, counts[i])
+		pos += counts[i]
+	}
+	go r.finalize()
+	return r, nil
+}
+
+// pushPlan uploads the artifact to one node unless the node is already
+// known (or listed) to hold it.
+func (co *Coordinator) pushPlan(ctx context.Context, r *Run, n *node, id string, artifact []byte) error {
+	if n.hasPlan(id) {
+		return nil
+	}
+	err := r.retry(ctx, func(ctx context.Context) error {
+		refs, err := n.cl.Plans(ctx)
+		if err != nil {
+			return err
+		}
+		for _, ref := range refs {
+			if ref.ID == id {
+				return nil
+			}
+		}
+		got, err := n.cl.UploadPlan(ctx, artifact)
+		if err != nil {
+			return err
+		}
+		if got != id {
+			return fmt.Errorf("coord: node %s stored plan as %s, expected %s", n.url, got, id)
+		}
+		return nil
+	})
+	if err == nil {
+		n.markPlan(id)
+	}
+	return err
+}
+
+// planID is the content address the daemon's plan store assigns: the
+// SHA-256 of the artifact bytes.
+func planID(artifact []byte) string {
+	sum := sha256.Sum256(artifact)
+	return hex.EncodeToString(sum[:])
+}

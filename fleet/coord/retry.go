@@ -1,0 +1,106 @@
+package coord
+
+import (
+	"context"
+	"math"
+	"time"
+)
+
+// Clock abstracts sleeping for the retry/backoff machinery. Production
+// coordinators use the real clock; tests inject a fake whose Sleep returns
+// immediately (recording the requested delays), so the whole
+// retry/rebalance suite runs in milliseconds instead of wall-clock backoff
+// time.
+type Clock interface {
+	// Sleep blocks for d or until ctx is cancelled, returning ctx.Err() in
+	// the cancelled case and nil otherwise.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realClock is the default Clock over time.Timer.
+type realClock struct{}
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RetryPolicy shapes the coordinator's reaction to transient failures
+// (client.IsTransient): exponential backoff doubling from Base, capped at
+// Max, with ±Jitter uniform noise so a fleet of shard runners hitting the
+// same rebooting daemon does not retry in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation (>= 1). After
+	// MaxAttempts transient failures in a row the target node is declared
+	// dead and its unfinished chips rebalance onto surviving nodes.
+	MaxAttempts int
+	// Base is the delay before the first retry; attempt k waits
+	// min(Base<<k, Max), jittered.
+	Base time.Duration
+	// Max caps the exponential growth.
+	Max time.Duration
+	// Jitter in [0, 1) scales each delay by a uniform factor in
+	// [1-Jitter, 1+Jitter].
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the production default: 5 attempts, 100ms base
+// doubling to a 5s cap, ±20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, Base: 100 * time.Millisecond, Max: 5 * time.Second, Jitter: 0.2}
+}
+
+func (p RetryPolicy) validate() error {
+	switch {
+	case p.MaxAttempts < 1:
+		return errPolicy("MaxAttempts must be >= 1")
+	case p.Base <= 0:
+		return errPolicy("Base must be positive")
+	case p.Max < p.Base:
+		return errPolicy("Max must be >= Base")
+	case p.Jitter < 0 || p.Jitter >= 1:
+		return errPolicy("Jitter must be in [0, 1)")
+	}
+	return nil
+}
+
+type errPolicy string
+
+func (e errPolicy) Error() string { return "coord: retry policy: " + string(e) }
+
+// Delay returns the backoff before retry number attempt (counting from 0),
+// using u in [0, 1) as the jitter sample: min(Base<<attempt, Max) scaled
+// by 1 + Jitter*(2u-1). Pure so it unit-tests exactly.
+func (p RetryPolicy) Delay(attempt int, u float64) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d <<= 1 // doubling stops at Max, so it cannot overflow
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*u-1)))
+	}
+	return d
+}
+
+// jitterU draws the next deterministic jitter sample in [0, 1).
+func (co *Coordinator) jitterU() float64 {
+	co.rngMu.Lock()
+	defer co.rngMu.Unlock()
+	u := co.rng.Float64()
+	if math.IsNaN(u) { // unreachable; keeps the contract explicit
+		u = 0
+	}
+	return u
+}

@@ -1,0 +1,100 @@
+package coord
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDelayRamp(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, Base: 100 * time.Millisecond, Max: 5 * time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // capped
+		5 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt, 0.5); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// Huge attempt numbers stay pinned at the cap instead of overflowing.
+	if got := p.Delay(500, 0.5); got != 5*time.Second {
+		t.Fatalf("Delay(500) = %v, want the 5s cap", got)
+	}
+}
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, Base: time.Second, Max: time.Second, Jitter: 0.2}
+	// u spans [0,1): the scaled delay spans [1-J, 1+J) around the base.
+	if got := p.Delay(0, 0); got != 800*time.Millisecond {
+		t.Fatalf("Delay(0, u=0) = %v, want 800ms", got)
+	}
+	if got := p.Delay(0, 0.5); got != time.Second {
+		t.Fatalf("Delay(0, u=0.5) = %v, want 1s", got)
+	}
+	lo, hi := 800*time.Millisecond, 1200*time.Millisecond
+	for _, u := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9999} {
+		if d := p.Delay(0, u); d < lo || d >= hi {
+			t.Fatalf("Delay(0, %v) = %v, outside [%v, %v)", u, d, lo, hi)
+		}
+	}
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	if err := DefaultRetryPolicy().validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+	bad := []RetryPolicy{
+		{MaxAttempts: 0, Base: time.Millisecond, Max: time.Second},
+		{MaxAttempts: 1, Base: 0, Max: time.Second},
+		{MaxAttempts: 1, Base: time.Second, Max: time.Millisecond},
+		{MaxAttempts: 1, Base: time.Millisecond, Max: time.Second, Jitter: -0.1},
+		{MaxAttempts: 1, Base: time.Millisecond, Max: time.Second, Jitter: 1},
+	}
+	for i, p := range bad {
+		if err := p.validate(); err == nil {
+			t.Fatalf("case %d: invalid policy %+v accepted", i, p)
+		}
+	}
+}
+
+func TestJitterIsDeterministicPerSeed(t *testing.T) {
+	a, err := New([]string{"http://x"}, WithJitterSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"http://x"}, WithJitterSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		ua, ub := a.jitterU(), b.jitterU()
+		if ua != ub {
+			t.Fatalf("draw %d: %v != %v — same seed must replay the same jitter", i, ua, ub)
+		}
+		if ua < 0 || ua >= 1 {
+			t.Fatalf("draw %d: %v outside [0, 1)", i, ua)
+		}
+	}
+}
+
+func TestRealClockHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := (realClock{}).Sleep(ctx, time.Hour); err == nil {
+		t.Fatal("cancelled sleep returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled sleep blocked for %v", elapsed)
+	}
+	if err := (realClock{}).Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package coord
+
+// splitByWeight partitions total units into len(w) contiguous counts
+// proportional to the weights, by largest remainder with ties broken by
+// lowest index — fully deterministic in (total, w). Non-positive and NaN
+// weights count as zero; if every weight is zero, the split is equal.
+func splitByWeight(total int, w []float64) []int {
+	n := len(w)
+	counts := make([]int, n)
+	if n == 0 || total <= 0 {
+		return counts
+	}
+	sum := 0.0
+	for _, wi := range w {
+		if wi > 0 { // NaN fails this comparison too
+			sum += wi
+		}
+	}
+	if sum <= 0 {
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+		sum = float64(n)
+	}
+	assigned := 0
+	rem := make([]float64, n)
+	for i, wi := range w {
+		if wi < 0 || wi != wi {
+			wi = 0
+		}
+		exact := float64(total) * wi / sum
+		counts[i] = int(exact)
+		rem[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < total {
+		best := 0
+		for i := 1; i < n; i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rem[best] = -1
+		assigned++
+	}
+	return counts
+}
+
+// span is a contiguous range of population positions [First, First+Count).
+type span struct {
+	First, Count int
+}
+
+// gaps decomposes the unfinished positions of [first, first+count) into
+// maximal contiguous spans. done reports whether a position already has an
+// accepted result.
+func gaps(first, count int, done func(pos int) bool) []span {
+	var out []span
+	for pos := first; pos < first+count; {
+		if done(pos) {
+			pos++
+			continue
+		}
+		start := pos
+		for pos < first+count && !done(pos) {
+			pos++
+		}
+		out = append(out, span{First: start, Count: pos - start})
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package coord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSplitByWeightBasics(t *testing.T) {
+	cases := []struct {
+		total int
+		w     []float64
+		want  []int
+	}{
+		{16, []float64{1, 1, 1}, []int{6, 5, 5}},
+		{10, []float64{1, 1}, []int{5, 5}},
+		{10, []float64{3, 1}, []int{8, 2}},      // clear proportional split
+		{1, []float64{1, 1, 1}, []int{1, 0, 0}}, // tie → lowest index
+		{0, []float64{1, 1}, []int{0, 0}},
+		{5, []float64{0, 0}, []int{3, 2}},          // all-zero → equal
+		{6, []float64{math.NaN(), 1}, []int{0, 6}}, // NaN counts as zero
+		{6, []float64{-2, 1, 1}, []int{0, 3, 3}},   // negative counts as zero
+		{7, nil, nil},                              // no buckets
+		{4, []float64{1, 0, 1, 0}, []int{2, 0, 2, 0}},
+	}
+	for i, c := range cases {
+		got := splitByWeight(c.total, c.w)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+// Property: the split always sums to total, is non-negative, and is
+// deterministic in its inputs.
+func TestSplitByWeightProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(8)
+		total := rng.Intn(2000)
+		w := make([]float64, n)
+		for i := range w {
+			switch rng.Intn(5) {
+			case 0:
+				w[i] = 0
+			case 1:
+				w[i] = -rng.Float64()
+			default:
+				w[i] = rng.Float64() * 10
+			}
+		}
+		got := splitByWeight(total, w)
+		sum := 0
+		for _, c := range got {
+			if c < 0 {
+				t.Fatalf("negative count in %v for total %d, w %v", got, total, w)
+			}
+			sum += c
+		}
+		if sum != total {
+			t.Fatalf("split %v sums to %d, want %d (w %v)", got, sum, total, w)
+		}
+		again := splitByWeight(total, w)
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("split not deterministic: %v vs %v", got, again)
+			}
+		}
+	}
+}
+
+func TestGaps(t *testing.T) {
+	done := func(set ...int) func(int) bool {
+		m := map[int]bool{}
+		for _, p := range set {
+			m[p] = true
+		}
+		return func(p int) bool { return m[p] }
+	}
+	cases := []struct {
+		first, count int
+		done         func(int) bool
+		want         []span
+	}{
+		{0, 5, done(), []span{{0, 5}}},
+		{0, 5, done(0, 1, 2, 3, 4), nil},
+		{0, 5, done(0, 1), []span{{2, 3}}},
+		{0, 5, done(2), []span{{0, 2}, {3, 2}}},
+		{0, 5, done(0, 2, 4), []span{{1, 1}, {3, 1}}},
+		{10, 4, done(11), []span{{10, 1}, {12, 2}}},
+		{3, 0, done(), nil},
+	}
+	for i, c := range cases {
+		got := gaps(c.first, c.count, c.done)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: gaps = %v, want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: gaps = %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}

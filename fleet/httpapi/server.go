@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"effitest/fleet"
 )
@@ -26,6 +27,7 @@ type Server struct {
 func New(m *fleet.Manager) *Server {
 	s := &Server{m: m, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /stats", s.stats)
 	s.mux.HandleFunc("POST /v1/campaigns", s.submit)
 	s.mux.HandleFunc("GET /v1/campaigns", s.list)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.status)
@@ -64,6 +66,10 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsWire(s.m.Registry().Stats(), s.m.Stats()))
+}
+
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var req CampaignRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPlanUpload)).Decode(&req); err != nil {
@@ -86,6 +92,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		Options:   opts,
 		ChipSeed:  req.Chips.Seed,
 		ChipCount: req.Chips.Count,
+		ChipFirst: req.Chips.First,
 	}
 	if req.PlanID != "" {
 		pl, ok, err := s.m.Plans().Decode(req.PlanID)
@@ -159,17 +166,32 @@ func (s *Server) aggregate(w http.ResponseWriter, r *http.Request) {
 
 // results streams the campaign's per-chip results as NDJSON in input
 // order, flushing per line; the stream stays open until every chip has
-// resolved (or the client disconnects).
+// resolved (or the client disconnects). ?from=N skips the first N results,
+// so a client whose stream broke resumes at its first unseen index instead
+// of re-reading (and re-deduplicating) the whole prefix.
 func (s *Server) results(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid from %q", q))
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	i := 0
 	for res := range c.Results(r.Context()) {
+		if i++; i <= from {
+			continue
+		}
 		if err := enc.Encode(ResultWire(res)); err != nil {
 			return
 		}

@@ -1,0 +1,205 @@
+package httpapi_test
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"effitest"
+	"effitest/fleet"
+	"effitest/fleet/client"
+	"effitest/fleet/httpapi"
+)
+
+// wire24Netlist builds the small test circuit used by the shard tests.
+func wire24Netlist(t *testing.T) string {
+	t.Helper()
+	c, err := effitest.Generate(effitest.NewProfile("shard24", 24, 200, 3, 24), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := effitest.WriteNetlist(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func runCampaign(t *testing.T, cl *client.Client, req httpapi.CampaignRequest) []httpapi.ChipResult {
+	t.Helper()
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := cl.WaitSettled(ctx, st.ID); err != nil || fin.State != string(fleet.StateDone) {
+		t.Fatalf("campaign did not settle done: %+v, err %v", fin, err)
+	}
+	res, err := cl.Results(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// A shard-range campaign (Chips.First > 0) must reproduce exactly the
+// corresponding slice of a whole-population campaign: chip i depends only
+// on (seed, i), which is what lets the coordinator split a population
+// across daemons without changing a single bit.
+func TestShardRangeMatchesWholePopulationSlice(t *testing.T) {
+	netlist := wire24Netlist(t)
+	base := httpapi.CampaignRequest{
+		Circuit: httpapi.CircuitSpec{Netlist: netlist},
+		Config:  httpapi.ConfigSpec{Quantile: 0.8413, CalibChips: 100},
+	}
+
+	_, cl := newLoopback(t)
+	whole := base
+	whole.Chips = httpapi.ChipSpec{Seed: 9, Count: 8}
+	wholeRes := runCampaign(t, cl, whole)
+	if len(wholeRes) != 8 {
+		t.Fatalf("whole campaign returned %d results", len(wholeRes))
+	}
+
+	shards := []httpapi.ChipSpec{
+		{Seed: 9, Count: 3, First: 0},
+		{Seed: 9, Count: 5, First: 3},
+	}
+	for _, chips := range shards {
+		req := base
+		req.Chips = chips
+		got := runCampaign(t, cl, req)
+		if len(got) != chips.Count {
+			t.Fatalf("shard [%d+%d) returned %d results", chips.First, chips.Count, len(got))
+		}
+		for i, res := range got {
+			want := wholeRes[chips.First+i]
+			if res.Index != i {
+				t.Fatalf("shard [%d+%d) result %d has Index %d (indices are shard-local)", chips.First, chips.Count, i, res.Index)
+			}
+			if res.ChipIndex != want.ChipIndex ||
+				res.Iterations != want.Iterations || res.ScanBits != want.ScanBits ||
+				res.Configured != want.Configured || res.Passed != want.Passed ||
+				res.Xi != want.Xi ||
+				res.BoundsLoSum != want.BoundsLoSum || res.BoundsHiSum != want.BoundsHiSum {
+				t.Fatalf("shard [%d+%d) chip %d diverges from whole-population chip %d:\nshard: %+v\nwhole: %+v",
+					chips.First, chips.Count, i, chips.First+i, res, want)
+			}
+			if want.ChipIndex != chips.First+i {
+				t.Fatalf("whole-population chip %d carries manufacturing index %d", chips.First+i, want.ChipIndex)
+			}
+		}
+	}
+
+	// A negative range start is rejected at submit.
+	bad := base
+	bad.Chips = httpapi.ChipSpec{Seed: 9, Count: 2, First: -1}
+	if _, err := cl.Submit(context.Background(), bad); err == nil {
+		t.Fatal("negative Chips.First accepted")
+	}
+}
+
+// ?from=N resumes the NDJSON stream mid-way — the reconnect path the
+// coordinator uses after a transient stream break.
+func TestResultsStreamResumesFrom(t *testing.T) {
+	_, cl := newLoopback(t)
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, httpapi.CampaignRequest{
+		Circuit: httpapi.CircuitSpec{Netlist: wire24Netlist(t)},
+		Config:  httpapi.ConfigSpec{Quantile: 0.8413, CalibChips: 100},
+		Chips:   httpapi.ChipSpec{Seed: 9, Count: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cl.Results(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var resumed []httpapi.ChipResult
+	for res, err := range cl.StreamResultsFrom(ctx, st.ID, 5) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed = append(resumed, res)
+	}
+	if len(resumed) != 3 {
+		t.Fatalf("resume from 5 of 8 yielded %d results, want 3", len(resumed))
+	}
+	for i, res := range resumed {
+		want := full[5+i]
+		if res.Index != want.Index || res.Xi != want.Xi || res.Iterations != want.Iterations {
+			t.Fatalf("resumed result %d = %+v, want %+v", i, res, want)
+		}
+	}
+
+	// Resuming at (or past) the end of a settled campaign ends cleanly.
+	n := 0
+	for _, err := range cl.StreamResultsFrom(ctx, st.ID, 8) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 0 {
+		t.Fatalf("resume at the end yielded %d results", n)
+	}
+
+	// A malformed offset is a 400, not a hung stream.
+	for _, q := range []string{"from=-1", "from=abc"} {
+		resp, err := http.Get(cl.Base() + "/v1/campaigns/" + st.ID + "/results?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("?%s answered %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// GET /stats exposes registry traffic and manager load — the signal the
+// coordinator's least-loaded placement reads.
+func TestStatsEndpoint(t *testing.T) {
+	_, cl := newLoopback(t, fleet.WithWorkers(3))
+	ctx := context.Background()
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 3 || st.Campaigns != 0 || st.ChipsExecuted != 0 {
+		t.Fatalf("fresh daemon stats: %+v", st)
+	}
+
+	camp, err := cl.Submit(ctx, httpapi.CampaignRequest{
+		Circuit: httpapi.CircuitSpec{Netlist: wire24Netlist(t)},
+		Config:  httpapi.ConfigSpec{Quantile: 0.8413, CalibChips: 100},
+		Chips:   httpapi.ChipSpec{Seed: 9, Count: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.WaitSettled(ctx, camp.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Campaigns != 1 || st.CampaignsDone != 1 {
+		t.Fatalf("after one campaign: %+v", st)
+	}
+	if st.ChipsExecuted != 6 {
+		t.Fatalf("chips_executed = %d, want 6", st.ChipsExecuted)
+	}
+	if st.ChipsPending != 0 || st.ChipsInFlight != 0 {
+		t.Fatalf("settled daemon still reports backlog: %+v", st)
+	}
+	if st.EnginesLive == 0 || st.RegistryMisses == 0 {
+		t.Fatalf("registry saw no traffic: %+v", st)
+	}
+}

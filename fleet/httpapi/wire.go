@@ -5,10 +5,12 @@
 // The API is deliberately small and deterministic:
 //
 //	GET    /healthz                      liveness + pool/registry gauges
+//	GET    /stats                        registry + manager load counters
 //	POST   /v1/campaigns                 submit a campaign (async; 202)
 //	GET    /v1/campaigns                 list campaign statuses
 //	GET    /v1/campaigns/{id}            one campaign status
 //	GET    /v1/campaigns/{id}/results    NDJSON result stream, input order
+//	                                     (?from=N resumes mid-stream)
 //	GET    /v1/campaigns/{id}/aggregate  canonical aggregate JSON
 //	DELETE /v1/campaigns/{id}            cancel
 //	POST   /v1/plans                     upload a plan artifact (binary/JSON)
@@ -151,11 +153,17 @@ func (cf ConfigSpec) Options() ([]effitest.Option, error) {
 	return opts, nil
 }
 
-// ChipSpec is the deterministic chip population: chips 0..Count-1 sampled
-// in (Seed, index) from the engine's circuit.
+// ChipSpec is the deterministic chip population: Count chips sampled in
+// (Seed, index) from the engine's circuit, starting at manufacturing index
+// First (default 0). A non-zero First addresses a shard of a larger
+// population: the campaign runs chips [First, First+Count) of the Seed-keyed
+// population, bit-identical to the same positions of a single whole-range
+// campaign — which is how the fleet coordinator splits one population
+// across daemons.
 type ChipSpec struct {
 	Seed  int64 `json:"seed"`
 	Count int   `json:"count"`
+	First int   `json:"first,omitempty"`
 }
 
 // CampaignStatus is one campaign's snapshot on the wire.
@@ -224,6 +232,57 @@ type Health struct {
 // PlanRef is the response to a plan upload and the element of plan lists.
 type PlanRef struct {
 	ID string `json:"id"`
+}
+
+// Stats is the /stats document: the engine-registry counters plus the
+// manager's campaign/chip load gauges. The fleet coordinator reads it for
+// least-loaded shard placement; humans read it to see what a daemon is
+// doing.
+type Stats struct {
+	Workers int `json:"workers"`
+
+	// Registry traffic (see fleet.RegistryStats).
+	EnginesLive       int `json:"engines_live"`
+	RegistryHits      int `json:"registry_hits"`
+	RegistryMisses    int `json:"registry_misses"`
+	RegistryPrepares  int `json:"registry_prepares"`
+	RegistryEvictions int `json:"registry_evictions"`
+
+	// Campaign table by state (see fleet.ManagerStats).
+	Campaigns          int `json:"campaigns"`
+	CampaignsQueued    int `json:"campaigns_queued"`
+	CampaignsRunning   int `json:"campaigns_running"`
+	CampaignsDone      int `json:"campaigns_done"`
+	CampaignsCancelled int `json:"campaigns_cancelled"`
+	CampaignsFailed    int `json:"campaigns_failed"`
+
+	// Chip-level load: executed since start, resolved-but-undispatched, and
+	// dispatched-without-result. Pending+InFlight is the backlog a new
+	// shard queues behind.
+	ChipsExecuted int64 `json:"chips_executed"`
+	ChipsPending  int   `json:"chips_pending"`
+	ChipsInFlight int   `json:"chips_in_flight"`
+}
+
+// StatsWire merges the registry and manager snapshots into the wire form.
+func StatsWire(rs fleet.RegistryStats, ms fleet.ManagerStats) Stats {
+	return Stats{
+		Workers:            ms.Workers,
+		EnginesLive:        rs.Live,
+		RegistryHits:       rs.Hits,
+		RegistryMisses:     rs.Misses,
+		RegistryPrepares:   rs.Prepares,
+		RegistryEvictions:  rs.Evictions,
+		Campaigns:          ms.Campaigns,
+		CampaignsQueued:    ms.CampaignsQueued,
+		CampaignsRunning:   ms.CampaignsRunning,
+		CampaignsDone:      ms.CampaignsDone,
+		CampaignsCancelled: ms.CampaignsCancelled,
+		CampaignsFailed:    ms.CampaignsFailed,
+		ChipsExecuted:      ms.ChipsExecuted,
+		ChipsPending:       ms.ChipsPending,
+		ChipsInFlight:      ms.ChipsInFlight,
+	}
 }
 
 // StatusWire converts a fleet.Status to its wire form.

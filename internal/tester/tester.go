@@ -68,9 +68,19 @@ func SampleChips(c *circuit.Circuit, seed int64, n int) []*Chip {
 // in core.Config.Workers: 0 = all CPUs) with cancellation. The returned
 // slice is deterministic in (seed, n) at any worker count.
 func SampleChipsCtx(ctx context.Context, c *circuit.Circuit, seed int64, n, workers int) ([]*Chip, error) {
+	return SampleChipRangeCtx(ctx, c, seed, 0, n, workers)
+}
+
+// SampleChipRangeCtx manufactures the n chips with manufacturing indices
+// [first, first+n) of the (seed-keyed) chip population. Because chip i
+// depends only on (seed, i), the returned chips are exactly the
+// corresponding slice of SampleChipsCtx(ctx, c, seed, first+n, workers) —
+// the property sharded campaign execution relies on: a shard samples only
+// its own index range yet runs the identical chips.
+func SampleChipRangeCtx(ctx context.Context, c *circuit.Circuit, seed int64, first, n, workers int) ([]*Chip, error) {
 	out := make([]*Chip, n)
 	err := pool.ForEach(ctx, n, workers, func(i int) error {
-		out[i] = SampleChip(c, seed, i)
+		out[i] = SampleChip(c, seed, first+i)
 		return nil
 	})
 	if err != nil {

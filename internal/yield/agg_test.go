@@ -71,6 +71,68 @@ func TestAggMergeCommutes(t *testing.T) {
 	}
 }
 
+// Adversarial shard arrival, as the fleet coordinator produces it: shards
+// complete out of order, a rebalanced retry re-delivers chips that already
+// arrived (suppressed by position before they reach Observe), and some
+// shards land empty (a node died before finishing a single chip). The
+// merged aggregate must still equal the sequential pass bit-for-bit.
+func TestAggMergeAdversarialShardArrival(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	outs := make([]*core.ChipOutcome, 193)
+	for i := range outs {
+		outs[i] = randOutcome(r)
+	}
+	var whole Agg
+	for _, out := range outs {
+		whole.Observe(out)
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		// Partition positions into shards, then append duplicate "retry"
+		// shards re-covering random prefixes of earlier shards, plus empty
+		// shards. seen dedups by position before Observe — the coordinator's
+		// exactly-once merge.
+		shards := 1 + r.Intn(7)
+		assign := make([][]int, shards)
+		for pos := range outs {
+			s := r.Intn(shards)
+			assign[s] = append(assign[s], pos)
+		}
+		for s := 0; s < shards; s++ {
+			if len(assign[s]) > 0 && r.Intn(2) == 0 {
+				dup := assign[s][:1+r.Intn(len(assign[s]))]
+				assign = append(assign, append([]int(nil), dup...))
+			}
+			if r.Intn(3) == 0 {
+				assign = append(assign, nil) // empty shard
+			}
+		}
+
+		partials := make([]Agg, len(assign))
+		seen := make([]bool, len(outs))
+		// Arrival order is adversarial: process shards in a random order.
+		for _, s := range r.Perm(len(assign)) {
+			for _, pos := range assign[s] {
+				if seen[pos] {
+					continue // duplicate suppressed after retry
+				}
+				seen[pos] = true
+				partials[s].Observe(outs[pos])
+			}
+		}
+		var merged Agg
+		for _, s := range r.Perm(len(partials)) {
+			merged.Merge(partials[s])
+		}
+		if merged != whole {
+			t.Fatalf("trial %d: adversarial merge %+v != sequential %+v", trial, merged, whole)
+		}
+		if merged.Stats() != whole.Stats() {
+			t.Fatalf("trial %d: stats diverge after adversarial merge", trial)
+		}
+	}
+}
+
 func TestAggZeroStats(t *testing.T) {
 	var a Agg
 	if st := a.Stats(); st != (ProposedStats{}) {

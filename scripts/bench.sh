@@ -3,8 +3,8 @@
 # trajectory is tracked PR over PR (BENCH_<pr>.json at the repo root).
 #
 # Usage (from the repository root):
-#   scripts/bench.sh                    # fast subset, 1 op each -> BENCH_5.json
-#   BENCH_OUT=BENCH_6.json scripts/bench.sh
+#   scripts/bench.sh                    # fast subset, 1 op each -> BENCH_6.json
+#   BENCH_OUT=BENCH_7.json scripts/bench.sh
 #   BENCH_SHORT=1 scripts/bench.sh      # FlowChip only (CI bench-regression smoke)
 #   BENCH_PATTERN='Benchmark' BENCH_TIME=2s scripts/bench.sh   # everything, timed
 set -eu
@@ -13,8 +13,10 @@ set -eu
 # the warm plan-cache load are tracked side by side.
 # BenchmarkCampaignThroughput tracks fleet chips/s two ways — in-process
 # manager vs HTTP loopback — so service overhead is visible PR over PR.
-BENCH_PATTERN="${BENCH_PATTERN:-BenchmarkFlowChip|BenchmarkEngineRunChips|BenchmarkPrepare|BenchmarkAblationAlignSolver|BenchmarkCampaignThroughput}"
-BENCH_PKGS=". ./fleet"
+# BenchmarkCoordinatorThroughput tracks sharded chips/s across 1/2/4
+# loopback daemons, so the coordinator's scaling is visible PR over PR.
+BENCH_PATTERN="${BENCH_PATTERN:-BenchmarkFlowChip|BenchmarkEngineRunChips|BenchmarkPrepare|BenchmarkAblationAlignSolver|BenchmarkCampaignThroughput|BenchmarkCoordinatorThroughput}"
+BENCH_PKGS=". ./fleet ./fleet/coord"
 
 # Short mode: the per-chip online flow only (ns/op + allocs/op), the numbers
 # the bench-regression CI job gates on.
@@ -24,7 +26,7 @@ if [ "${BENCH_SHORT:-}" = 1 ]; then
 fi
 
 BENCH_TIME="${BENCH_TIME:-1x}"
-BENCH_OUT="${BENCH_OUT:-BENCH_5.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_6.json}"
 BENCH_LABEL="${BENCH_LABEL:-${BENCH_OUT%.json}}"
 
 # shellcheck disable=SC2086 — BENCH_PKGS is a deliberate word list.
