@@ -53,10 +53,12 @@ func main() {
 		name      = flag.String("name", "coord", "campaign name")
 		results   = flag.Bool("results", false, "stream merged per-chip NDJSON to stdout")
 		aggOut    = flag.String("aggregate-out", "", "write the aggregate JSON to this path (default stdout unless -results)")
-		attempts  = flag.Int("retry-attempts", 5, "max tries per operation before a node is declared dead")
-		base      = flag.Duration("retry-base", 100*time.Millisecond, "backoff base delay")
-		maxDelay  = flag.Duration("retry-max", 5*time.Second, "backoff cap")
-		jitter    = flag.Float64("retry-jitter", 0.2, "backoff jitter fraction in [0,1)")
+		token     = flag.String("token", os.Getenv("EFFITESTD_AUTH_TOKEN"),
+			"bearer token for daemons running with auth enabled (default $EFFITESTD_AUTH_TOKEN)")
+		attempts = flag.Int("retry-attempts", 5, "max tries per operation before a node is declared dead")
+		base     = flag.Duration("retry-base", 100*time.Millisecond, "backoff base delay")
+		maxDelay = flag.Duration("retry-max", 5*time.Second, "backoff cap")
+		jitter   = flag.Float64("retry-jitter", 0.2, "backoff jitter fraction in [0,1)")
 	)
 	flag.Parse()
 
@@ -92,9 +94,13 @@ func main() {
 		spec.Plan = data
 	}
 
-	co, err := coord.New(urls, coord.WithRetryPolicy(coord.RetryPolicy{
+	coOpts := []coord.Option{coord.WithRetryPolicy(coord.RetryPolicy{
 		MaxAttempts: *attempts, Base: *base, Max: *maxDelay, Jitter: *jitter,
-	}))
+	})}
+	if *token != "" {
+		coOpts = append(coOpts, coord.WithAuthToken(*token))
+	}
+	co, err := coord.New(urls, coOpts...)
 	fatal(err)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,390 @@
+// Command effitest-load drives a running effitestd with a swarm of
+// concurrent clients and verdicts the daemon's behaviour under overload.
+//
+// The swarm deliberately mixes well-formed traffic with abuse: campaign
+// submissions far past the admission bound, requests with missing or wrong
+// bearer tokens, plan uploads over the body cap, and a steady read load on
+// the open endpoints. A production-hardened daemon answers every one of
+// them with an intentional status — 2xx for served work, 429 (with
+// Retry-After) for admission and rate control, 401 for bad credentials,
+// 413 for oversized bodies — and never a 5xx, an unbounded queue, or a
+// dropped connection.
+//
+// After the swarm drains, the tool scrapes /metrics and cross-checks the
+// daemon's own counters against what the swarm observed from the outside:
+// auth failures, 429s (rate-limited + admission-rejected), and per-code
+// request totals must line up. The run report is written as JSON (-o) and
+// the exit status is the verdict, so CI can gate on it directly.
+//
+// Usage:
+//
+//	effitest-load -addr http://127.0.0.1:18097 -token secret \
+//	    -clients 2000 -duration 20s -o BENCH_7.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// campaignBody is a deliberately tiny campaign: a 16-FF synthetic circuit
+// with 2 chips, so accepted submissions complete in milliseconds and churn
+// the admission queue instead of wedging it. Every submission is identical,
+// which also exercises the registry's warm plan cache under concurrency.
+const campaignBody = `{
+  "name": "loadtest",
+  "circuit": {"custom": {"name": "lt16", "ffs": 16, "gates": 120, "buffers": 2, "paths": 18}, "gen_seed": 7},
+  "config": {"align": "heuristic", "eps": 0.002, "seed": 1, "quantile": 0.8413, "calib_chips": 60},
+  "chips": {"seed": 11, "count": 2}
+}`
+
+// report is the machine-readable run record (committed as BENCH_<pr>.json
+// for the full run, and parsed by nothing — it is for humans and diffs).
+type report struct {
+	Label      string  `json:"label"`
+	Addr       string  `json:"addr"`
+	GoVersion  string  `json:"goVersion"`
+	NumCPU     int     `json:"numCPU"`
+	Clients    int     `json:"clients"`
+	DurationS  float64 `json:"duration_s"`
+	Requests   int64   `json:"requests_total"`
+	Throughput float64 `json:"requests_per_s"`
+
+	// StatusCounts histograms every HTTP status the swarm saw.
+	StatusCounts map[string]int64 `json:"status_counts"`
+	// TransportErrors counts requests that died without a status line.
+	// Oversized uploads may race the server's early 413 against the
+	// client's body write; those are tracked separately and tolerated.
+	TransportErrors     int64    `json:"transport_errors"`
+	OversizedConnRaces  int64    `json:"oversized_conn_races"`
+	CampaignsAccepted   int64    `json:"campaigns_accepted"`
+	CampaignsThrottled  int64    `json:"campaigns_throttled"`
+	LatencyP50Ms        float64  `json:"latency_p50_ms"`
+	LatencyP90Ms        float64  `json:"latency_p90_ms"`
+	LatencyP99Ms        float64  `json:"latency_p99_ms"`
+	LatencyMaxMs        float64  `json:"latency_max_ms"`
+	MetricsCrossChecked bool     `json:"metrics_cross_checked"`
+	Failures            []string `json:"failures,omitempty"`
+	OK                  bool     `json:"ok"`
+}
+
+type swarm struct {
+	addr, token string
+	hc          *http.Client
+
+	statuses  sync.Map // int -> *atomic.Int64
+	transport atomic.Int64
+	bigRaces  atomic.Int64
+	accepted  atomic.Int64
+	throttled atomic.Int64
+
+	mu        sync.Mutex
+	latencies []float64 // milliseconds
+}
+
+func (s *swarm) count(code int) {
+	v, _ := s.statuses.LoadOrStore(code, &atomic.Int64{})
+	v.(*atomic.Int64).Add(1)
+}
+
+func (s *swarm) observe(ms float64) {
+	s.mu.Lock()
+	s.latencies = append(s.latencies, ms)
+	s.mu.Unlock()
+}
+
+// do fires one request and returns the status code (0 on transport error).
+// The body is fully drained so connections are reused across the swarm.
+func (s *swarm) do(method, path, token string, body io.Reader) int {
+	req, err := http.NewRequest(method, s.addr+path, body)
+	if err != nil {
+		s.transport.Add(1)
+		return 0
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		s.transport.Add(1)
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.observe(float64(time.Since(t0)) / float64(time.Millisecond))
+	s.count(resp.StatusCode)
+	return resp.StatusCode
+}
+
+// submit posts the tiny campaign and classifies the admission outcome.
+func (s *swarm) submit() {
+	switch s.do(http.MethodPost, "/v1/campaigns", s.token, strings.NewReader(campaignBody)) {
+	case http.StatusAccepted:
+		s.accepted.Add(1)
+	case http.StatusTooManyRequests:
+		s.throttled.Add(1)
+	}
+}
+
+// oversized uploads one byte past the plan body cap and expects 413. The
+// server is allowed to slam the door while the body is still in flight, so
+// a transport error here is recorded as a tolerated connection race.
+func (s *swarm) oversized(cap int64) {
+	req, err := http.NewRequest(http.MethodPost, s.addr+"/v1/plans", io.LimitReader(zeros{}, cap+1))
+	if err != nil {
+		s.transport.Add(1)
+		return
+	}
+	req.Header.Set("Authorization", "Bearer "+s.token)
+	req.ContentLength = cap + 1
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		s.bigRaces.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.count(resp.StatusCode)
+}
+
+type zeros struct{}
+
+func (zeros) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8087", "base URL of the effitestd under test")
+		token    = flag.String("token", os.Getenv("EFFITESTD_AUTH_TOKEN"), "bearer token for mutating endpoints")
+		clients  = flag.Int("clients", 200, "concurrent client goroutines")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		bodyCap  = flag.Int64("body-cap", 64<<20, "daemon request-body cap the 413 probe must exceed")
+		bigN     = flag.Int("oversized-probes", 2, "oversized uploads to fire (expect 413 each)")
+		think    = flag.Duration("think", 5*time.Millisecond, "per-client pause between requests")
+		label    = flag.String("label", "loadtest", "label recorded in the report")
+		out      = flag.String("o", "", "write the JSON report here (default stdout only)")
+	)
+	flag.Parse()
+
+	s := &swarm{
+		addr:  strings.TrimRight(*addr, "/"),
+		token: *token,
+		hc: &http.Client{
+			Timeout: 2 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        *clients,
+				MaxIdleConnsPerHost: *clients,
+			},
+		},
+	}
+
+	// One warm-up submission so the first wave of the swarm does not pay
+	// (and time) the cold plan construction.
+	s.submit()
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reads := []string{"/stats", "/healthz", "/metrics", "/v1/plans"}
+			for n := 0; time.Now().Before(deadline); n++ {
+				switch i % 10 {
+				case 0, 1, 2: // submit pressure: well past the admission bound
+					s.submit()
+				case 3: // credential abuse: no token, then a wrong one
+					if n%2 == 0 {
+						s.do(http.MethodPost, "/v1/campaigns", "", strings.NewReader(campaignBody))
+					} else {
+						s.do(http.MethodPost, "/v1/plans", "wrong-"+s.token, strings.NewReader("{}"))
+					}
+				default: // steady read load on the open endpoints. The
+					// campaign listing serializes every terminal campaign —
+					// O(accepted) bytes per call — so it is sampled, not
+					// hammered, or it starves the rest of the swarm.
+					if n%16 == 0 {
+						s.do(http.MethodGet, "/v1/campaigns", "", nil)
+					} else {
+						s.do(http.MethodGet, reads[n%len(reads)], "", nil)
+					}
+				}
+				time.Sleep(*think)
+			}
+		}(i)
+	}
+	// Oversized probes run beside the swarm, not inside it: each one pushes
+	// tens of megabytes and would otherwise crowd out a worker slot.
+	for i := 0; i < *bigN; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.oversized(*bodyCap) }()
+	}
+	wg.Wait()
+
+	rep := s.report(*label, *clients, *duration)
+	rep.crossCheckMetrics(s)
+	rep.verdict()
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write report:", err)
+			os.Exit(1)
+		}
+	}
+	if !rep.OK {
+		os.Exit(1)
+	}
+}
+
+func (s *swarm) report(label string, clients int, d time.Duration) *report {
+	rep := &report{
+		Label:        label,
+		Addr:         s.addr,
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		Clients:      clients,
+		DurationS:    d.Seconds(),
+		StatusCounts: map[string]int64{},
+	}
+	s.statuses.Range(func(k, v any) bool {
+		n := v.(*atomic.Int64).Load()
+		rep.StatusCounts[strconv.Itoa(k.(int))] = n
+		rep.Requests += n
+		return true
+	})
+	rep.Throughput = float64(rep.Requests) / d.Seconds()
+	rep.TransportErrors = s.transport.Load()
+	rep.OversizedConnRaces = s.bigRaces.Load()
+	rep.CampaignsAccepted = s.accepted.Load()
+	rep.CampaignsThrottled = s.throttled.Load()
+
+	sort.Float64s(s.latencies)
+	if n := len(s.latencies); n > 0 {
+		q := func(p float64) float64 { return s.latencies[min(n-1, int(p*float64(n)))] }
+		rep.LatencyP50Ms = q(0.50)
+		rep.LatencyP90Ms = q(0.90)
+		rep.LatencyP99Ms = q(0.99)
+		rep.LatencyMaxMs = s.latencies[n-1]
+	}
+	return rep
+}
+
+// crossCheckMetrics scrapes the daemon's /metrics and requires its counters
+// to agree with what the swarm observed from the outside. The daemon may
+// have served other clients (health probes from the harness script), so
+// per-code totals are checked as lower bounds; counters only this swarm can
+// move (auth failures, 429 sources) are checked exactly.
+func (rep *report) crossCheckMetrics(s *swarm) {
+	resp, err := s.hc.Get(s.addr + "/metrics")
+	if err != nil {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("final /metrics scrape: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("final /metrics read: %v", err))
+		return
+	}
+
+	single := map[string]float64{} // bare-name families
+	byCode := map[string]float64{} // http_requests_total summed per code
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndex(line, " ")
+		if cut < 0 {
+			continue
+		}
+		name, valstr := line[:cut], line[cut+1:]
+		val, err := strconv.ParseFloat(valstr, 64)
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("unparseable metrics line %q", line))
+			continue
+		}
+		if code, ok := requestCode(name); ok {
+			byCode[code] += val
+		} else if !strings.Contains(name, "{") {
+			single[name] = val
+		}
+	}
+
+	if got, want := single["effitestd_auth_failures_total"], float64(rep.StatusCounts["401"]); got != want {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("auth_failures_total %.0f, swarm saw %.0f 401s", got, want))
+	}
+	throttleSum := single["effitestd_rate_limited_total"] + single["effitestd_admission_rejected_total"]
+	if want := float64(rep.StatusCounts["429"]); throttleSum != want {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("rate_limited+admission_rejected = %.0f, swarm saw %.0f 429s", throttleSum, want))
+	}
+	for code, n := range rep.StatusCounts {
+		if byCode[code] < float64(n) {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("http_requests_total code %s = %.0f < %d swarm-observed", code, byCode[code], n))
+		}
+	}
+	rep.MetricsCrossChecked = true
+}
+
+// requestCode extracts NNN from `effitestd_http_requests_total{...,code="NNN"}`.
+func requestCode(name string) (string, bool) {
+	if !strings.HasPrefix(name, `effitestd_http_requests_total{`) {
+		return "", false
+	}
+	_, rest, ok := strings.Cut(name, `code="`)
+	if !ok {
+		return "", false
+	}
+	code, _, ok := strings.Cut(rest, `"`)
+	return code, ok
+}
+
+// verdict enforces the hardening contract: only intentional statuses, at
+// least one of each overload answer actually provoked, and no transport
+// failures outside the tolerated oversized-upload race.
+func (rep *report) verdict() {
+	for code := range rep.StatusCounts {
+		switch {
+		case strings.HasPrefix(code, "2"), code == "401", code == "413", code == "429":
+		default:
+			rep.Failures = append(rep.Failures, fmt.Sprintf("unexpected status %s (%d times)", code, rep.StatusCounts[code]))
+		}
+	}
+	if rep.TransportErrors > 0 {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("%d requests died without a status", rep.TransportErrors))
+	}
+	if rep.CampaignsAccepted == 0 {
+		rep.Failures = append(rep.Failures, "no campaign was accepted")
+	}
+	if rep.CampaignsThrottled == 0 {
+		rep.Failures = append(rep.Failures, "admission bound was never provoked (no 429)")
+	}
+	if rep.StatusCounts["401"] == 0 {
+		rep.Failures = append(rep.Failures, "auth gate was never provoked (no 401)")
+	}
+	if rep.StatusCounts["413"] == 0 && rep.OversizedConnRaces == 0 {
+		rep.Failures = append(rep.Failures, "body cap was never provoked (no 413)")
+	}
+	rep.OK = len(rep.Failures) == 0
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,13 +44,31 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8087", "listen address")
-		workers  = flag.Int("workers", 0, "shared worker pool size (0 = all CPUs)")
-		capacity = flag.Int("registry-capacity", 16, "bounded LRU size of the live-engine registry")
-		cacheDir = flag.String("plan-cache", "", "content-addressed plan cache directory backing the registry")
-		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight chips")
+		addr      = flag.String("addr", ":8087", "listen address")
+		workers   = flag.Int("workers", 0, "shared worker pool size (0 = all CPUs)")
+		capacity  = flag.Int("registry-capacity", 16, "bounded LRU size of the live-engine registry")
+		cacheDir  = flag.String("plan-cache", "", "content-addressed plan cache directory backing the registry")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight chips")
+		authToken = flag.String("auth-token", os.Getenv("EFFITESTD_AUTH_TOKEN"),
+			"bearer token required on mutating endpoints (default $EFFITESTD_AUTH_TOKEN; empty = no auth)")
+		maxQueued = flag.Int("max-queued-campaigns", 64,
+			"admission bound on queued+running campaigns; excess submits get 429 (0 = unbounded)")
+		rateLimit = flag.Float64("rate-limit", 50,
+			"per-client request rate limit in requests/sec; over-budget requests get 429 (0 = off)")
+		rateBurst = flag.Int("rate-burst", 100, "per-client rate-limit burst capacity")
+		pprofOn   = flag.Bool("pprof", false, "serve /debug/pprof (behind the auth gate when -auth-token is set)")
+		logJSON   = flag.Bool("log-json", false, "emit request logs as JSON instead of logfmt-style text")
+		routeTO   = flag.Duration("route-timeout", 30*time.Second,
+			"per-route read/write deadline for non-streaming endpoints (0 = none)")
 	)
 	flag.Parse()
+
+	logOpts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, logOpts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, logOpts)
+	}
+	logger := slog.New(handler)
 
 	regOpts := []fleet.RegistryOption{fleet.WithCapacity(*capacity)}
 	if *cacheDir != "" {
@@ -57,17 +76,51 @@ func main() {
 	}
 	reg, err := fleet.NewRegistry(regOpts...)
 	fatal(err)
-	m, err := fleet.NewManager(fleet.WithWorkers(*workers), fleet.WithRegistry(reg))
+	metrics := httpapi.NewMetrics()
+	m, err := fleet.NewManager(
+		fleet.WithWorkers(*workers),
+		fleet.WithRegistry(reg),
+		fleet.WithMaxQueuedCampaigns(*maxQueued),
+		fleet.WithManagerObserver(metrics.Observer()),
+	)
 	fatal(err)
 
-	srv := &http.Server{Addr: *addr, Handler: httpapi.New(m)}
+	apiOpts := []httpapi.Option{
+		httpapi.WithMetrics(metrics),
+		httpapi.WithLogger(logger),
+		httpapi.WithRouteTimeouts(*routeTO, *routeTO),
+	}
+	if *authToken != "" {
+		apiOpts = append(apiOpts, httpapi.WithAuthToken(*authToken))
+	}
+	if *rateLimit > 0 {
+		apiOpts = append(apiOpts, httpapi.WithRateLimit(*rateLimit, *rateBurst))
+	}
+	if *pprofOn {
+		apiOpts = append(apiOpts, httpapi.WithPprof())
+	}
+
+	// Server-wide ReadTimeout/WriteTimeout stay zero on purpose: they would
+	// cut long-lived NDJSON result streams and aggregate long-polls. The
+	// slowloris surface is covered instead by ReadHeaderTimeout + IdleTimeout
+	// here and by the per-route deadlines (-route-timeout) on the routes
+	// whose requests and responses are small.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(m, apiOpts...),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+		ErrorLog:          slog.NewLogLogger(handler, slog.LevelWarn),
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "effitestd: listening on %s (workers=%d, registry=%d", *addr, m.Workers(), *capacity)
+	fmt.Fprintf(os.Stderr, "effitestd: listening on %s (workers=%d, registry=%d, auth=%v, max-queued=%d, rate=%g/s",
+		*addr, m.Workers(), *capacity, *authToken != "", *maxQueued, *rateLimit)
 	if *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, ", plan-cache=%s", *cacheDir)
 	}

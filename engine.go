@@ -411,6 +411,32 @@ func (e *Engine) RunChipAt(ctx context.Context, ch *Chip, Td float64) (*ChipOutc
 	return e.plan.RunChipOpts(ctx, ch, Td, e.runOpts())
 }
 
+// RunChipObserved is RunChip with an additional event sink for this call
+// only: obs receives the chip's flow events alongside any observer baked
+// into the engine at construction. This is how a service layer attaches
+// process-wide instrumentation (e.g. a metrics sink) to engines that are
+// shared across callers — the engine itself stays immutable, so registry
+// deduplication is unaffected. A nil obs is equivalent to RunChip.
+func (e *Engine) RunChipObserved(ctx context.Context, ch *Chip, obs Observer) (*ChipOutcome, error) {
+	opts := e.runOpts()
+	opts.Observer = fanoutObserver(opts.Observer, obs)
+	return e.plan.RunChipOpts(ctx, ch, e.period, opts)
+}
+
+// fanoutObserver merges two optional observers into one sink.
+func fanoutObserver(a, b core.Observer) core.Observer {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return core.ObserverFunc(func(e core.Event) {
+		a.Observe(e)
+		b.Observe(e)
+	})
+}
+
 // RunChips fans the chips across the engine's worker pool (WithWorkers) and
 // streams one ChipResult per chip — outcome or per-chip error, plus index —
 // strictly in input order. Outcomes are bit-identical to a sequential loop

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"effitest"
+)
+
+// The admission bound refuses submissions once the non-terminal campaign
+// backlog hits the limit, and frees a slot the moment a campaign settles —
+// by completion, failure, or cancellation alike.
+func TestManagerAdmissionBound(t *testing.T) {
+	m := newTestManager(t, WithWorkers(1), WithMaxQueuedCampaigns(2))
+	c := tinyCircuit(t, "admit", 3)
+	sb := &slowBackend{delay: 20 * time.Millisecond}
+	opts := fastOpts(effitest.WithBackend(sb))
+
+	submit := func() (*Campaign, error) {
+		return m.Submit(CampaignSpec{Circuit: c, Options: opts, ChipSeed: 1, ChipCount: 8})
+	}
+	a, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := submit(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit over a bound of 2: err %v, want ErrQueueFull", err)
+	}
+	if st := m.Stats(); st.QueueLimit != 2 || st.CampaignsRejected != 1 {
+		t.Fatalf("stats limit=%d rejected=%d, want 2/1", st.QueueLimit, st.CampaignsRejected)
+	}
+
+	// Cancelling one campaign frees its slot once it settles.
+	a.Cancel()
+	if _, err := a.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	d, err := submit()
+	if err != nil {
+		t.Fatalf("submit after a settled cancel: %v", err)
+	}
+
+	for _, camp := range []*Campaign{b, d} {
+		camp.Cancel()
+		if _, err := camp.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A campaign that fails engine construction releases its admission slot —
+// a stream of doomed submissions must not wedge the bound shut.
+func TestAdmissionSlotFreedOnPrepFailure(t *testing.T) {
+	m := newTestManager(t, WithMaxQueuedCampaigns(1))
+	c := tinyCircuit(t, "admitfail", 3)
+	for i := 0; i < 3; i++ {
+		camp, err := m.Submit(CampaignSpec{Circuit: c, Options: []effitest.Option{effitest.WithEpsilon(-4)}, ChipCount: 2})
+		if err != nil {
+			t.Fatalf("round %d: submit refused: %v", i, err)
+		}
+		if st, err := camp.Wait(context.Background()); err != nil || st.State != StateFailed {
+			t.Fatalf("round %d: state %v err %v, want failed", i, st.State, err)
+		}
+	}
+}
+
+// WithMaxQueuedCampaigns rejects a negative bound.
+func TestAdmissionOptionValidation(t *testing.T) {
+	if _, err := NewManager(WithMaxQueuedCampaigns(-1)); err == nil {
+		t.Fatal("negative admission bound accepted")
+	}
+}

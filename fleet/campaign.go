@@ -23,6 +23,11 @@ var (
 	// ErrCampaignCancelled tags chips abandoned by Campaign.Cancel before
 	// they were dispatched.
 	ErrCampaignCancelled = errors.New("fleet: campaign cancelled")
+	// ErrQueueFull tags a Submit refused by admission control: the manager's
+	// campaign backlog (WithMaxQueuedCampaigns) is at its bound. The request
+	// itself is fine — retry after backing off (the HTTP surface maps this to
+	// 429 with a Retry-After header).
+	ErrQueueFull = errors.New("fleet: campaign queue full")
 )
 
 // State is a campaign's lifecycle phase.
@@ -135,6 +140,9 @@ type Campaign struct {
 	agg       yield.Agg
 	failed    int // per-chip errors
 	cancelled bool
+	// settleOnce releases this campaign's admission-control slot exactly
+	// once, on its first transition to a terminal state.
+	settleOnce sync.Once
 
 	submitted time.Time
 	started   time.Time
@@ -198,6 +206,13 @@ func (c *Campaign) Cancel() {
 	c.mu.Unlock()
 }
 
+// noteTerminalLocked releases the campaign's admission slot on its first
+// transition into a terminal state. Called with c.mu held; it only touches
+// manager atomics, so the m.mu-before-c.mu lock order is respected.
+func (c *Campaign) noteTerminalLocked() {
+	c.settleOnce.Do(func() { c.m.backlog.Add(-1) })
+}
+
 // settleLocked abandons every unresolved chip from start on with err and
 // settles the campaign as Cancelled; a no-op when already terminal.
 // In-flight chips (indices below start without a result) still deliver
@@ -210,6 +225,7 @@ func (c *Campaign) settleLocked(start int, err error) {
 	c.cancelled = true
 	c.fillFromLocked(start, err)
 	c.state = StateCancelled
+	c.noteTerminalLocked()
 	// A campaign with no population (cancelled mid-prepare) settles here;
 	// one with in-flight chips gets its stamp from the last deliver.
 	if (c.results == nil || c.completed == len(c.results)) && c.finished.IsZero() {
@@ -348,6 +364,7 @@ func (c *Campaign) failPrep(err error) {
 	} else {
 		c.state = StateFailed
 	}
+	c.noteTerminalLocked()
 	c.err = err
 	c.finished = time.Now()
 	c.cond.Broadcast()
@@ -368,6 +385,8 @@ func (c *Campaign) run(idx int) {
 	res := effitest.ChipResult{Index: idx, Chip: ch}
 	if err := c.ctx.Err(); err != nil {
 		res.Err = err
+	} else if obs := c.m.obs; obs != nil {
+		res.Outcome, res.Err = eng.RunChipObserved(c.ctx, ch, obs)
 	} else {
 		res.Outcome, res.Err = eng.RunChip(c.ctx, ch)
 	}
@@ -397,6 +416,7 @@ func (c *Campaign) deliver(res effitest.ChipResult) {
 		default:
 			c.state = StateDone
 		}
+		c.noteTerminalLocked()
 		if c.finished.IsZero() {
 			c.finished = time.Now()
 		}
@@ -414,11 +434,15 @@ type job struct {
 // engine registry, a bounded worker pool, and the campaign table. One
 // Manager serves many concurrent campaigns over many circuits.
 type Manager struct {
-	reg     *Registry
-	workers int
-	plans   *PlanStore
+	reg       *Registry
+	workers   int
+	plans     *PlanStore
+	obs       effitest.Observer
+	maxQueued int // admission bound on non-terminal campaigns (0 = unbounded)
 
 	chipsExecuted atomic.Int64 // chips run on the pool since start
+	backlog       atomic.Int64 // campaigns in a non-terminal state
+	rejected      atomic.Int64 // submissions refused by admission control
 
 	jobs           chan job
 	wake           chan struct{}
@@ -458,6 +482,34 @@ func WithWorkers(n int) ManagerOption {
 func WithRegistry(r *Registry) ManagerOption {
 	return func(m *Manager) error {
 		m.reg = r
+		return nil
+	}
+}
+
+// WithMaxQueuedCampaigns bounds the campaign backlog: when n campaigns are
+// in a non-terminal state (queued or running), further Submit calls are
+// refused with ErrQueueFull instead of queueing unboundedly. 0 (the
+// default) disables admission control. The HTTP surface translates the
+// refusal into 429 + Retry-After, so well-behaved clients back off.
+func WithMaxQueuedCampaigns(n int) ManagerOption {
+	return func(m *Manager) error {
+		if n < 0 {
+			return fmt.Errorf("fleet: max queued campaigns must be non-negative, got %d", n)
+		}
+		m.maxQueued = n
+		return nil
+	}
+}
+
+// WithManagerObserver attaches a service-wide event sink: every chip run on
+// the manager's pool emits its flow events (ChipDoneEvent, PredictEvent,
+// BatchEndEvent, ...) to obs, alongside any per-engine observer. obs must
+// be safe for concurrent use and quick — it runs inline on the hot path.
+// This is how effitestd feeds its /metrics endpoint without making registry
+// engines caller-private.
+func WithManagerObserver(obs effitest.Observer) ManagerOption {
+	return func(m *Manager) error {
+		m.obs = obs
 		return nil
 	}
 }
@@ -551,6 +603,17 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 		cancel()
 		return nil, ErrManagerClosed
 	}
+	// Admission control: bound the non-terminal backlog. Checked under m.mu
+	// so concurrent submits serialize against the increment; the slot is
+	// released (via noteTerminalLocked) when the campaign settles.
+	if m.maxQueued > 0 && m.backlog.Load() >= int64(m.maxQueued) {
+		m.rejected.Add(1)
+		m.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("%w: %d campaigns already queued or running (bound %d)",
+			ErrQueueFull, m.backlog.Load(), m.maxQueued)
+	}
+	m.backlog.Add(1)
 	m.nextID++
 	c.id = fmt.Sprintf("c%06d", m.nextID)
 	m.campaigns[c.id] = c
@@ -584,11 +647,20 @@ type ManagerStats struct {
 	// they are the backlog a new shard would queue behind.
 	ChipsPending  int
 	ChipsInFlight int
+	// QueueLimit is the admission bound (WithMaxQueuedCampaigns; 0 =
+	// unbounded) and CampaignsRejected counts submissions it refused.
+	QueueLimit        int
+	CampaignsRejected int64
 }
 
 // Stats snapshots the manager's campaign and chip counters.
 func (m *Manager) Stats() ManagerStats {
-	st := ManagerStats{Workers: m.workers, ChipsExecuted: m.chipsExecuted.Load()}
+	st := ManagerStats{
+		Workers:           m.workers,
+		ChipsExecuted:     m.chipsExecuted.Load(),
+		QueueLimit:        m.maxQueued,
+		CampaignsRejected: m.rejected.Load(),
+	}
 	m.mu.Lock()
 	camps := slices.Clone(m.order)
 	dispatched := make([]int, len(camps))

@@ -29,8 +29,9 @@ import (
 // Client talks to one effitestd daemon. The zero value is not usable;
 // build one with New.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string
 }
 
 // Option configures a Client.
@@ -44,6 +45,14 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithToken sends `Authorization: Bearer <token>` on every request, for
+// daemons running with auth enabled (effitestd -auth-token). The token also
+// becomes the client's rate-limit identity on the daemon, so retried and
+// resumed requests share one budget regardless of connection churn.
+func WithToken(token string) Option {
+	return func(c *Client) { c.token = token }
+}
+
 // New builds a client for the daemon at base (e.g. "http://host:8087").
 func New(base string, opts ...Option) *Client {
 	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
@@ -55,7 +64,8 @@ func New(base string, opts ...Option) *Client {
 
 // apiError decodes the server's {"error": ...} document into a typed
 // *APIError, so callers can classify the failure (see IsTransient) instead
-// of matching strings.
+// of matching strings. A Retry-After header (429 responses) is carried
+// through so retry policies can honor the daemon's own backoff hint.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var doc struct {
@@ -65,7 +75,20 @@ func apiError(resp *http.Response) error {
 	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
 		msg = doc.Error
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	var retryAfter time.Duration
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg, RetryAfter: retryAfter}
+}
+
+// auth stamps the bearer token, when one is configured.
+func (c *Client) auth(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 }
 
 // doJSON performs one request and decodes the JSON response into out.
@@ -85,6 +108,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body any, out 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -176,6 +200,7 @@ func (c *Client) StreamResultsFrom(ctx context.Context, id string, from int) ite
 			yield(httpapi.ChipResult{}, err)
 			return
 		}
+		c.auth(req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			yield(httpapi.ChipResult{}, err)
@@ -249,6 +274,7 @@ func (c *Client) UploadPlan(ctx context.Context, artifact []byte) (string, error
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return "", err
@@ -280,6 +306,7 @@ func (c *Client) DownloadPlan(ctx context.Context, id string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

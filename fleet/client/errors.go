@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"syscall"
+	"time"
 )
 
 // ErrTransient marks failures worth retrying against the same daemon (or a
@@ -34,6 +35,21 @@ type APIError struct {
 	// Message is the daemon's error text (or the raw body when the error
 	// document did not decode).
 	Message string
+	// RetryAfter is the daemon's Retry-After hint on 429 responses (zero
+	// when absent): the minimum wait before the request is worth repeating.
+	// Retry policies should sleep at least this long (see RetryAfter).
+	RetryAfter time.Duration
+}
+
+// RetryAfter extracts the daemon's Retry-After hint from err, or zero if
+// err carries none. Retry loops take max(policy delay, RetryAfter) so an
+// explicitly overloaded daemon is never hammered at the policy's base rate.
+func RetryAfter(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
 }
 
 // Error formats the daemon error with its status code.

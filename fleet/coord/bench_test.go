@@ -43,7 +43,7 @@ func BenchmarkCoordinatorThroughput(b *testing.B) {
 	for _, n := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
 			nodes := startNodes(b, n, nil)
-			co, err := coord.New(urlsOf(nodes))
+			co, err := coord.New(urlsOf(nodes), coord.WithAuthToken(coordToken))
 			if err != nil {
 				b.Fatal(err)
 			}

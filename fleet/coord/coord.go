@@ -65,6 +65,7 @@ type Coordinator struct {
 	clock  Clock
 	policy RetryPolicy
 	hc     *http.Client
+	token  string
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -108,6 +109,16 @@ func WithHTTPClient(hc *http.Client) Option {
 	}
 }
 
+// WithAuthToken sends the bearer token on every request to every node, for
+// fleets whose daemons run with auth enabled (effitestd -auth-token). The
+// pool shares one credential: effitestd auth is daemon-wide, not per-user.
+func WithAuthToken(token string) Option {
+	return func(co *Coordinator) error {
+		co.token = token
+		return nil
+	}
+}
+
 // WithJitterSeed seeds the deterministic jitter source (default seed 1).
 // Two coordinators with the same seed, policy and failure sequence sleep
 // the exact same backoff schedule — which is how the backoff tests assert
@@ -140,6 +151,9 @@ func New(nodeURLs []string, opts ...Option) (*Coordinator, error) {
 		var clOpts []client.Option
 		if co.hc != nil {
 			clOpts = append(clOpts, client.WithHTTPClient(co.hc))
+		}
+		if co.token != "" {
+			clOpts = append(clOpts, client.WithToken(co.token))
 		}
 		co.nodes = append(co.nodes, &node{
 			url:   u,

@@ -70,8 +70,14 @@ func (n *testNode) die() {
 	n.ts.CloseClientConnections()
 }
 
-// startNodes boots n loopback daemons. mk, when non-nil, supplies per-node
-// manager options (index-addressed, so one node can carry a test backend).
+// coordToken is the bearer token every test daemon requires: the whole
+// retry/rebalance suite runs with auth and rate limiting enabled, pinning
+// that the production middleware never perturbs the merged stream.
+const coordToken = "coord-test-token"
+
+// startNodes boots n loopback daemons — auth and rate limiting on, like
+// production. mk, when non-nil, supplies per-node manager options
+// (index-addressed, so one node can carry a test backend).
 func startNodes(t testing.TB, n int, mk func(i int) []fleet.ManagerOption) []*testNode {
 	t.Helper()
 	nodes := make([]*testNode, n)
@@ -84,7 +90,10 @@ func startNodes(t testing.TB, n int, mk func(i int) []fleet.ManagerOption) []*te
 		if err != nil {
 			t.Fatal(err)
 		}
-		ks := &killSwitch{inner: httpapi.New(m)}
+		ks := &killSwitch{inner: httpapi.New(m,
+			httpapi.WithAuthToken(coordToken),
+			httpapi.WithRateLimit(10000, 10000),
+		)}
 		nodes[i] = &testNode{m: m, ts: httptest.NewServer(ks), kill: ks}
 	}
 	t.Cleanup(func() {
@@ -205,7 +214,7 @@ func TestCoordinatedRunMatchesInProcessGolden(t *testing.T) {
 	}
 
 	nodes := startNodes(t, 3, nil)
-	co, err := coord.New(urlsOf(nodes), coord.WithClock(&instantClock{}))
+	co, err := coord.New(urlsOf(nodes), coord.WithClock(&instantClock{}), coord.WithAuthToken(coordToken))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +298,7 @@ func TestKillNodeMidCampaignStaysBitIdentical(t *testing.T) {
 	})
 
 	clock := &instantClock{}
-	co, err := coord.New(urlsOf(nodes), coord.WithClock(clock))
+	co, err := coord.New(urlsOf(nodes), coord.WithClock(clock), coord.WithAuthToken(coordToken))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +389,7 @@ func TestPlanPrePushDedup(t *testing.T) {
 		nd.kill.inner = counters[i]
 	}
 
-	co, err := coord.New(urlsOf(nodes), coord.WithClock(&instantClock{}))
+	co, err := coord.New(urlsOf(nodes), coord.WithClock(&instantClock{}), coord.WithAuthToken(coordToken))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,6 +429,7 @@ func TestTransientFailuresRetryThenSucceed(t *testing.T) {
 	clock := &instantClock{}
 	co, err := coord.New(urlsOf(nodes),
 		coord.WithClock(clock),
+		coord.WithAuthToken(coordToken),
 		coord.WithRetryPolicy(coord.RetryPolicy{MaxAttempts: 5, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}),
 	)
 	if err != nil {
@@ -502,7 +512,7 @@ func TestStartAllNodesDown(t *testing.T) {
 func TestPermanentRejectionFailsFast(t *testing.T) {
 	nodes := startNodes(t, 1, nil)
 	clock := &instantClock{}
-	co, err := coord.New(urlsOf(nodes), coord.WithClock(clock))
+	co, err := coord.New(urlsOf(nodes), coord.WithClock(clock), coord.WithAuthToken(coordToken))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,74 @@
+package coord_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"effitest/fleet/coord"
+	"effitest/fleet/httpapi"
+)
+
+// A daemon answering 429 with Retry-After must slow the coordinator to the
+// daemon's own hint: every backoff sleep is at least the advertised wait,
+// even when the retry policy's exponential delay is far smaller — the
+// coordinator backs off instead of hot-retrying admission control.
+func TestCoord429BacksOffByRetryAfter(t *testing.T) {
+	const hintSecs = 7
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok","workers":1}`))
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"workers":1}`))
+	})
+	var submits atomic.Int64
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		submits.Add(1)
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"campaign queue full"}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	clock := &instantClock{}
+	co, err := coord.New([]string{ts.URL},
+		coord.WithClock(clock),
+		// Policy delays are microscopic next to the daemon's hint, so any
+		// 7s sleeps below can only come from honoring Retry-After.
+		coord.WithRetryPolicy(coord.RetryPolicy{MaxAttempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := co.Start(context.Background(), coord.Spec{
+		Name:    "throttled",
+		Circuit: httpapi.CircuitSpec{Profile: "s9234", GenSeed: 1},
+		Chips:   httpapi.ChipSpec{Seed: 7, Count: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(context.Background()); err == nil {
+		t.Fatal("run against an always-429 daemon should fail")
+	}
+
+	if n := submits.Load(); n != 3 {
+		t.Fatalf("submit attempted %d times, want MaxAttempts of 3", n)
+	}
+	hinted := 0
+	for _, d := range clock.delays() {
+		if d >= hintSecs*time.Second {
+			hinted++
+		}
+	}
+	// MaxAttempts=3 sleeps twice between submit tries; both sleeps must be
+	// stretched to the daemon's hint.
+	if hinted != 2 {
+		t.Fatalf("delays %v: %d at or above the %ds Retry-After hint, want 2", clock.delays(), hinted, hintSecs)
+	}
+}

@@ -108,7 +108,10 @@ func (r *Run) Assignments() []Assignment {
 
 // retry runs op, sleeping the policy's backoff between transient failures
 // (client.IsTransient), up to MaxAttempts tries. A non-transient error, a
-// cancelled context or success returns immediately.
+// cancelled context or success returns immediately. When the failure
+// carries a Retry-After hint (a 429 from admission or rate-limit control),
+// the sleep is at least that long — the daemon said exactly when capacity
+// returns, so retrying at the policy's base rate would just burn attempts.
 func (r *Run) retry(ctx context.Context, op func(context.Context) error) error {
 	for attempt := 0; ; attempt++ {
 		err := op(ctx)
@@ -118,7 +121,8 @@ func (r *Run) retry(ctx context.Context, op func(context.Context) error) error {
 		r.mu.Lock()
 		r.retries++
 		r.mu.Unlock()
-		if serr := r.co.clock.Sleep(ctx, r.co.policy.Delay(attempt, r.co.jitterU())); serr != nil {
+		d := max(r.co.policy.Delay(attempt, r.co.jitterU()), client.RetryAfter(err))
+		if serr := r.co.clock.Sleep(ctx, d); serr != nil {
 			return serr
 		}
 	}
@@ -323,7 +327,8 @@ func (r *Run) runShard(n *node, pos, count int) {
 		r.mu.Lock()
 		r.retries++
 		r.mu.Unlock()
-		if err := r.co.clock.Sleep(ctx, r.co.policy.Delay(stall, r.co.jitterU())); err != nil {
+		d := max(r.co.policy.Delay(stall, r.co.jitterU()), client.RetryAfter(streamErr))
+		if err := r.co.clock.Sleep(ctx, d); err != nil {
 			return
 		}
 	}

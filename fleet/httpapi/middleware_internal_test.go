@@ -1,0 +1,184 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The token bucket refills at rps, caps at burst, and computes the wait
+// until the next token for Retry-After — all on an injected clock.
+func TestRateLimiterBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	rl := newRateLimiter(2, 3, func() time.Time { return now })
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := rl.allow("k"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, wait := rl.allow("k")
+	if ok {
+		t.Fatal("request over burst allowed")
+	}
+	// Empty bucket at 2 tokens/sec: one token is 500ms away.
+	if wait != 500*time.Millisecond {
+		t.Fatalf("wait %v, want 500ms", wait)
+	}
+
+	// Keys are independent budgets.
+	if ok, _ := rl.allow("other"); !ok {
+		t.Fatal("fresh key refused while another key is exhausted")
+	}
+
+	// Half a second refills one token exactly.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := rl.allow("k"); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := rl.allow("k"); ok {
+		t.Fatal("second token granted after a one-token refill")
+	}
+
+	// A long idle stretch caps at burst, not unbounded credit.
+	now = now.Add(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := rl.allow("k"); ok {
+			granted++
+		}
+	}
+	if granted != 3 {
+		t.Fatalf("after idle, %d tokens granted, want burst of 3", granted)
+	}
+}
+
+// Idle buckets are swept so the key table stays bounded by active clients.
+func TestRateLimiterSweep(t *testing.T) {
+	now := time.Unix(1000, 0)
+	rl := newRateLimiter(10, 5, func() time.Time { return now })
+	for i := 0; i < 100; i++ {
+		rl.allow("client-" + strings.Repeat("x", i%7))
+	}
+	now = now.Add(2 * time.Hour)
+	rl.allow("fresh")
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("%d buckets survive a 2h idle sweep, want 1", n)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{10 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1100 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Fatalf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+// planLookupError checks corruption before absence: a store that decodes
+// an existing entry with an error must surface 422, never 404.
+func TestPlanLookupErrorOrdering(t *testing.T) {
+	cases := []struct {
+		name     string
+		missing  bool
+		decodeEr error
+		wantCode int
+		wantMsg  string
+	}{
+		{"found and clean", false, nil, 0, ""},
+		{"missing", true, nil, http.StatusNotFound, "unknown plan"},
+		{"corrupt", false, errors.New("bad magic"), http.StatusUnprocessableEntity, "corrupt"},
+		// The regression: Decode reporting (ok=false, err) for a corrupt
+		// entry must still classify as corruption, not absence.
+		{"corrupt trumps missing", true, errors.New("bad magic"), http.StatusUnprocessableEntity, "corrupt"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, err := planLookupError("p1", tc.missing, tc.decodeEr)
+			if code != tc.wantCode {
+				t.Fatalf("code %d, want %d", code, tc.wantCode)
+			}
+			if tc.wantMsg == "" {
+				if err != nil {
+					t.Fatalf("unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %v, want mention of %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// bodyError maps MaxBytesReader overflows to 413 with the cap stated, and
+// everything else to 400.
+func TestBodyErrorMapping(t *testing.T) {
+	code, err := bodyError("campaign request", &http.MaxBytesError{Limit: 64 << 20})
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("MaxBytesError: code %d, want 413", code)
+	}
+	if !strings.Contains(err.Error(), "67108864") {
+		t.Fatalf("413 error does not state the cap: %v", err)
+	}
+	code, err = bodyError("campaign request", errors.New("unexpected EOF"))
+	if code != http.StatusBadRequest || !strings.Contains(err.Error(), "decoding campaign request") {
+		t.Fatalf("plain decode error: code %d err %v, want 400 naming the decode", code, err)
+	}
+}
+
+// The histogram buckets cumulatively and renders a parseable exposition.
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	h.observe(0.0002) // <= 0.00025 and everything above
+	h.observe(3)      // <= 5, 10
+	h.observe(100)    // only +Inf
+
+	if h.count != 3 {
+		t.Fatalf("count %d, want 3", h.count)
+	}
+	if h.sum != 103.0002 {
+		t.Fatalf("sum %v", h.sum)
+	}
+	var sb strings.Builder
+	writeHistogram(&sb, "t_seconds", "help", &h)
+	out := sb.String()
+	for _, want := range []string{
+		`t_seconds_bucket{le="0.0001"} 0`,
+		`t_seconds_bucket{le="0.00025"} 1`,
+		`t_seconds_bucket{le="2.5"} 1`,
+		`t_seconds_bucket{le="5"} 2`,
+		`t_seconds_bucket{le="10"} 2`,
+		`t_seconds_bucket{le="+Inf"} 3`,
+		`t_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// An empty (never-observed) histogram still renders a complete family.
+func TestHistogramEmptyRenders(t *testing.T) {
+	var h histogram
+	var sb strings.Builder
+	writeHistogram(&sb, "e_seconds", "help", &h)
+	if !strings.Contains(sb.String(), `e_seconds_bucket{le="+Inf"} 0`) {
+		t.Fatalf("empty histogram exposition:\n%s", sb.String())
+	}
+}

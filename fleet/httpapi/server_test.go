@@ -17,15 +17,27 @@ import (
 	"effitest/internal/yield"
 )
 
-// newLoopback starts a manager and an HTTP loopback server around it,
-// returning a client. Cleanup shuts both down.
+// testToken is the bearer token every loopback test server requires: the
+// conformance suite runs with auth and rate limiting ON, pinning that the
+// production middleware does not perturb a single served byte.
+const testToken = "loopback-test-token"
+
+// newLoopback starts a manager and an HTTP loopback server around it —
+// with auth, a generous rate limit, and metrics enabled — returning a
+// client that authenticates. Cleanup shuts both down.
 func newLoopback(t *testing.T, opts ...fleet.ManagerOption) (*fleet.Manager, *client.Client) {
 	t.Helper()
+	metrics := httpapi.NewMetrics()
+	opts = append(opts, fleet.WithManagerObserver(metrics.Observer()))
 	m, err := fleet.NewManager(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(httpapi.New(m))
+	ts := httptest.NewServer(httpapi.New(m,
+		httpapi.WithAuthToken(testToken),
+		httpapi.WithRateLimit(10000, 10000),
+		httpapi.WithMetrics(metrics),
+	))
 	t.Cleanup(func() {
 		m.Shutdown(context.Background())
 		ts.Close()
@@ -34,7 +46,7 @@ func newLoopback(t *testing.T, opts ...fleet.ManagerOption) (*fleet.Manager, *cl
 }
 
 func cliFor(ts *httptest.Server) *client.Client {
-	return client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	return client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithToken(testToken))
 }
 
 // tiny64Scenario picks the fast pipeline cell of the conformance matrix:

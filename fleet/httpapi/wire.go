@@ -256,6 +256,11 @@ type Stats struct {
 	CampaignsCancelled int `json:"campaigns_cancelled"`
 	CampaignsFailed    int `json:"campaigns_failed"`
 
+	// Admission control: the non-terminal campaign bound (0 = unbounded)
+	// and submissions refused at that bound since start.
+	QueueLimit        int   `json:"queue_limit,omitempty"`
+	CampaignsRejected int64 `json:"campaigns_rejected,omitempty"`
+
 	// Chip-level load: executed since start, resolved-but-undispatched, and
 	// dispatched-without-result. Pending+InFlight is the backlog a new
 	// shard queues behind.
@@ -279,6 +284,8 @@ func StatsWire(rs fleet.RegistryStats, ms fleet.ManagerStats) Stats {
 		CampaignsDone:      ms.CampaignsDone,
 		CampaignsCancelled: ms.CampaignsCancelled,
 		CampaignsFailed:    ms.CampaignsFailed,
+		QueueLimit:         ms.QueueLimit,
+		CampaignsRejected:  ms.CampaignsRejected,
 		ChipsExecuted:      ms.ChipsExecuted,
 		ChipsPending:       ms.ChipsPending,
 		ChipsInFlight:      ms.ChipsInFlight,

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Boot one effitestd with production hardening enabled (auth, a deliberately
+# small admission bound, rate limiting, metrics), swarm it with
+# cmd/effitest-load, and verdict the run: only 2xx/401/413/429 answers,
+# counters consistent with the swarm's outside view, and a clean SIGTERM
+# drain afterwards. The tool's exit status is the gate.
+#
+# Usage (from the repository root):
+#   scripts/loadtest.sh                  # short mode: CI smoke (~200 clients, 5s)
+#   LOADTEST_FULL=1 scripts/loadtest.sh  # full run -> BENCH_7.json
+#   LOADTEST_OUT=/tmp/r.json LOADTEST_PORT=18099 scripts/loadtest.sh
+set -eu
+
+PORT="${LOADTEST_PORT:-18097}"
+TOKEN="${LOADTEST_TOKEN:-loadtest-secret}"
+
+if [ "${LOADTEST_FULL:-}" = 1 ]; then
+  CLIENTS="${LOADTEST_CLIENTS:-2000}"
+  DURATION="${LOADTEST_DURATION:-20s}"
+  OUT="${LOADTEST_OUT:-BENCH_7.json}"
+  LABEL="${LOADTEST_LABEL:-BENCH_7}"
+else
+  CLIENTS="${LOADTEST_CLIENTS:-200}"
+  DURATION="${LOADTEST_DURATION:-5s}"
+  OUT="${LOADTEST_OUT:-/tmp/loadtest_short.json}"
+  LABEL="${LOADTEST_LABEL:-loadtest-short}"
+fi
+
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN/effitestd" ./cmd/effitestd
+go build -o "$BIN/effitest-load" ./cmd/effitest-load
+
+# The admission bound is set far below what the swarm submits, so 429s are
+# guaranteed; the rate limit is set high so every 429 is attributable to
+# admission control (the tool's cross-check covers both counters either way).
+# Request logs go to a file: the swarm generates one log line per request,
+# which would drown CI output. The last lines are shown on failure.
+DLOG="$BIN/effitestd.log"
+"$BIN/effitestd" -addr "127.0.0.1:$PORT" -workers 2 \
+  -auth-token "$TOKEN" \
+  -max-queued-campaigns 8 \
+  -rate-limit 100000 -rate-burst 200000 \
+  -route-timeout 2m \
+  -drain-timeout 60s 2> "$DLOG" &
+DPID=$!
+# Propagate the daemon's drain status even when the tool fails first.
+stop_daemon() {
+  kill -TERM "$DPID" 2>/dev/null || true
+  wait "$DPID"
+}
+
+for i in $(seq 1 50); do
+  curl -sf "127.0.0.1:$PORT/healthz" > /dev/null 2>&1 && break
+  sleep 0.2
+done
+
+STATUS=0
+"$BIN/effitest-load" \
+  -addr "http://127.0.0.1:$PORT" -token "$TOKEN" \
+  -clients "$CLIENTS" -duration "$DURATION" \
+  -label "$LABEL" -o "$OUT" || STATUS=$?
+
+stop_daemon || { echo "effitestd did not drain cleanly" >&2; STATUS=1; }
+[ "$STATUS" -eq 0 ] || { echo "--- last effitestd log lines ---" >&2; tail -40 "$DLOG" >&2; }
+exit "$STATUS"
