@@ -24,6 +24,12 @@
 // never dispatched resolve as cancelled, and the process exits once the
 // pool is idle or -drain-timeout expires (then in-flight chips are
 // hard-cancelled, which they notice within one tester iteration).
+//
+// With -journal-dir the daemon is crash-safe: every campaign and completed
+// chip is fsynced to a write-ahead journal, and a restart on the same
+// directory resumes unfinished campaigns — completed chips replay from the
+// log bit-identically instead of re-executing (see the README's
+// "Durability" section).
 package main
 
 import (
@@ -32,14 +38,17 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"effitest"
 	"effitest/fleet"
 	"effitest/fleet/httpapi"
+	"effitest/fleet/journal"
 )
 
 func main() {
@@ -55,10 +64,15 @@ func main() {
 			"admission bound on queued+running campaigns; excess submits get 429 (0 = unbounded)")
 		rateLimit = flag.Float64("rate-limit", 50,
 			"per-client request rate limit in requests/sec; over-budget requests get 429 (0 = off)")
-		rateBurst = flag.Int("rate-burst", 100, "per-client rate-limit burst capacity")
-		pprofOn   = flag.Bool("pprof", false, "serve /debug/pprof (behind the auth gate when -auth-token is set)")
-		logJSON   = flag.Bool("log-json", false, "emit request logs as JSON instead of logfmt-style text")
-		routeTO   = flag.Duration("route-timeout", 30*time.Second,
+		rateBurst  = flag.Int("rate-burst", 100, "per-client rate-limit burst capacity")
+		journalDir = flag.String("journal-dir", "",
+			"durable campaign journal directory: campaigns and completed chips are fsynced here, and on boot "+
+				"unfinished campaigns resume with completed chips replayed, not re-executed (empty = no journal)")
+		chipDelay = flag.Duration("chip-delay", 0,
+			"artificial pause after each completed chip (recovery drills and load shaping; 0 = off)")
+		pprofOn = flag.Bool("pprof", false, "serve /debug/pprof (behind the auth gate when -auth-token is set)")
+		logJSON = flag.Bool("log-json", false, "emit request logs as JSON instead of logfmt-style text")
+		routeTO = flag.Duration("route-timeout", 30*time.Second,
 			"per-route read/write deadline for non-streaming endpoints (0 = none)")
 	)
 	flag.Parse()
@@ -77,13 +91,42 @@ func main() {
 	reg, err := fleet.NewRegistry(regOpts...)
 	fatal(err)
 	metrics := httpapi.NewMetrics()
-	m, err := fleet.NewManager(
+	obs := effitest.Observer(metrics.Observer())
+	if *chipDelay > 0 {
+		inner := obs
+		d := *chipDelay
+		obs = effitest.ObserverFunc(func(e effitest.Event) {
+			inner.Observe(e)
+			if _, ok := e.(effitest.ChipDoneEvent); ok {
+				time.Sleep(d)
+			}
+		})
+	}
+	mgrOpts := []fleet.ManagerOption{
 		fleet.WithWorkers(*workers),
 		fleet.WithRegistry(reg),
 		fleet.WithMaxQueuedCampaigns(*maxQueued),
-		fleet.WithManagerObserver(metrics.Observer()),
-	)
+		fleet.WithManagerObserver(obs),
+	}
+	var jrnl *journal.Journal
+	if *journalDir != "" {
+		jrnl, err = journal.Open(*journalDir)
+		fatal(err)
+		mgrOpts = append(mgrOpts, fleet.WithJournal(jrnl))
+	}
+	m, err := fleet.NewManager(mgrOpts...)
 	fatal(err)
+	if jrnl != nil {
+		// Adopt whatever a previous process left behind before serving:
+		// unfinished campaigns re-enter the queue with their completed
+		// chips replayed from the log, not re-executed.
+		rs, err := m.Recover(httpapi.SpecDecoder(m.Plans()))
+		fatal(err)
+		if rs.Campaigns > 0 || rs.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "effitestd: journal recovery: %d campaign(s) resumed, %d chip(s) replayed, %d settled, %d skipped\n",
+				rs.Campaigns, rs.ChipsReplayed, rs.Settled, rs.Skipped)
+		}
+	}
 
 	apiOpts := []httpapi.Option{
 		httpapi.WithMetrics(metrics),
@@ -117,12 +160,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen explicitly (rather than ListenAndServe) so the resolved
+	// address is known and logged before serving — ":0" picks a free port,
+	// which the kill-and-restart tests rely on.
+	ln, err := net.Listen("tcp", *addr)
+	fatal(err)
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() { errCh <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "effitestd: listening on %s (workers=%d, registry=%d, auth=%v, max-queued=%d, rate=%g/s",
-		*addr, m.Workers(), *capacity, *authToken != "", *maxQueued, *rateLimit)
+		ln.Addr(), m.Workers(), *capacity, *authToken != "", *maxQueued, *rateLimit)
 	if *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, ", plan-cache=%s", *cacheDir)
+	}
+	if *journalDir != "" {
+		fmt.Fprintf(os.Stderr, ", journal=%s", *journalDir)
 	}
 	fmt.Fprintln(os.Stderr, ")")
 
@@ -143,6 +194,14 @@ func main() {
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "effitestd: http shutdown: %v\n", err)
+	}
+	// The journal closes last, after the drain: chips finishing during it
+	// were still being appended. Close flushes but never settles — the
+	// drain's interrupted campaigns stay resumable on the next boot.
+	if jrnl != nil {
+		if err := jrnl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "effitestd: journal close: %v\n", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "effitestd: drained, exiting")
 }

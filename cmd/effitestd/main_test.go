@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"effitest/fleet/httpapi"
+)
+
+// tiny64Body is the same campaign the CI smoke job and the in-process
+// golden corpus pin, plus an idempotency key — its aggregate must diff
+// clean against testdata/golden/daemon_tiny64_aggregate.json.
+const tiny64Body = `{
+	"name": "recovery-drill",
+	"key": "recovery-drill",
+	"circuit": {"custom": {"name": "tiny64", "ffs": 64, "gates": 640, "buffers": 6, "paths": 72}, "gen_seed": 1},
+	"config": {"align": "heuristic", "eps": 0.002, "seed": 1, "quantile": 0.8413, "calib_chips": 300},
+	"chips": {"seed": 101, "count": 16}
+}`
+
+// daemon wraps a real effitestd process started on a random port.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// The daemon logs "listening on HOST:PORT (..." once the socket is
+	// bound; everything after that line is drained so the process never
+	// blocks on a full stderr pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				if addr, _, ok := strings.Cut(rest, " ("); ok {
+					select {
+					case addrCh <- addr:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		d.url = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not report its listen address")
+	}
+	return d
+}
+
+func (d *daemon) post(t *testing.T, body string) (int, httpapi.CampaignStatus) {
+	t.Helper()
+	resp, err := http.Post(d.url+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st httpapi.CampaignStatus
+	if resp.StatusCode < 400 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func (d *daemon) get(t *testing.T, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(d.url + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: HTTP %d: %s", path, resp.StatusCode, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillDashNineRecovery is the acceptance drill for the durable journal,
+// against the real binary: boot with -journal-dir, submit the golden tiny64
+// campaign, SIGKILL the process mid-campaign, restart on the same
+// directory, and require (a) the campaign resumes under its original ID,
+// (b) journaled chips replay instead of re-executing, and (c) the final
+// aggregate is byte-identical to the committed golden file.
+func TestKillDashNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes; skipped in -short")
+	}
+
+	bin := filepath.Join(t.TempDir(), "effitestd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+
+	// First life: -chip-delay throttles completion to ~8 chips/s so the
+	// kill lands mid-campaign deterministically enough.
+	d1 := startDaemon(t, bin,
+		"-addr", "127.0.0.1:0", "-workers", "2",
+		"-journal-dir", dir, "-chip-delay", "120ms")
+	code, st := d1.post(t, tiny64Body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur httpapi.CampaignStatus
+		d1.get(t, "/v1/campaigns/"+st.ID, &cur)
+		if cur.ChipsDone >= 4 {
+			if cur.ChipsDone >= cur.ChipsTotal {
+				t.Fatalf("campaign finished (%d/%d chips) before the kill; raise -chip-delay",
+					cur.ChipsDone, cur.ChipsTotal)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck at %d chips", cur.ChipsDone)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The crash: no drain, no settle record, fsynced chip records only.
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	// Second life: same journal directory, full speed.
+	d2 := startDaemon(t, bin,
+		"-addr", "127.0.0.1:0", "-workers", "2", "-journal-dir", dir)
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		var cur httpapi.CampaignStatus
+		d2.get(t, "/v1/campaigns/"+st.ID, &cur)
+		if cur.State == "done" {
+			break
+		}
+		if cur.State == "failed" || cur.State == "cancelled" {
+			t.Fatalf("recovered campaign settled %s: %s", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered campaign stuck in %s", cur.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(d2.url + "/v1/campaigns/" + st.ID + "/aggregate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("aggregate: HTTP %d %v", resp.StatusCode, err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "daemon_tiny64_aggregate.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("aggregate diverged from golden after kill -9 recovery:\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// The recovery must have replayed, not re-executed: every journaled
+	// chip (≥4 by the kill gate) comes back from the log, and replayed +
+	// executed covers the population exactly once.
+	var stats httpapi.Stats
+	d2.get(t, "/stats", &stats)
+	if stats.CampaignsRecovered != 1 {
+		t.Fatalf("campaigns_recovered = %d, want 1", stats.CampaignsRecovered)
+	}
+	if stats.ChipsReplayed < 4 {
+		t.Fatalf("chips_replayed = %d, want >= 4 — recovery re-executed journaled chips", stats.ChipsReplayed)
+	}
+	if stats.ChipsReplayed+stats.ChipsExecuted != 16 {
+		t.Fatalf("replayed %d + executed %d != 16", stats.ChipsReplayed, stats.ChipsExecuted)
+	}
+
+	// A client retrying its keyed submit against the new process gets the
+	// original campaign back, not a duplicate.
+	code, dup := d2.post(t, tiny64Body)
+	if code != http.StatusOK || dup.ID != st.ID {
+		t.Fatalf("keyed re-submit after restart: HTTP %d id %s, want 200 %s", code, dup.ID, st.ID)
+	}
+
+	// And the second life must still drain cleanly.
+	if err := d2.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d2.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

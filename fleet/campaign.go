@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"effitest"
+	"effitest/fleet/journal"
 	"effitest/internal/pool"
 	"effitest/internal/yield"
 )
@@ -80,6 +81,21 @@ type CampaignSpec struct {
 	// a different range of the same seed; per-chip numbers are identical to
 	// a single campaign over the whole population.
 	ChipFirst int
+	// Key is an optional client-chosen idempotency key. Submitting a spec
+	// whose Key matches a live or finished campaign returns that campaign
+	// instead of creating a duplicate — so a client that got a 5xx for a
+	// submit the manager actually committed can retry blindly.
+	Key string
+	// PlanID names the plan artifact the spec's Plan was decoded from, for
+	// journal provenance. Informational; the journal's recovery path may
+	// re-Prepare when the artifact is gone (deterministically identical).
+	PlanID string
+	// JournalPayload is the serialized form of this spec that the journal
+	// stores and Manager.Recover hands back to its decoder after a restart
+	// (Options are closures and cannot be persisted directly). Required for
+	// durability when the manager has a journal: a spec without it is
+	// executed but not recoverable, and is journaled only for accounting.
+	JournalPayload []byte
 }
 
 // Status is a point-in-time snapshot of a campaign.
@@ -120,10 +136,18 @@ type Status struct {
 type Campaign struct {
 	id   string
 	name string
+	key  string // idempotency key ("" = none)
 	m    *Manager
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// journaled marks a campaign with a segment in the manager's journal;
+	// replay carries chip records recovered from it, consumed by prepare.
+	// journalSettleOnce writes the segment's terminal record exactly once.
+	journaled         bool
+	replay            []journal.ChipRecord
+	journalSettleOnce sync.Once
 
 	// nextDispatch is the index of the first undispatched chip; it is owned
 	// by the manager and only touched under m.mu.
@@ -154,6 +178,9 @@ func (c *Campaign) ID() string { return c.id }
 
 // Name returns the submitted campaign name.
 func (c *Campaign) Name() string { return c.name }
+
+// Key returns the campaign's idempotency key ("" when none was supplied).
+func (c *Campaign) Key() string { return c.key }
 
 // Status returns a point-in-time snapshot.
 func (c *Campaign) Status() Status {
@@ -204,6 +231,7 @@ func (c *Campaign) Cancel() {
 	c.mu.Lock()
 	c.settleLocked(start, ErrCampaignCancelled)
 	c.mu.Unlock()
+	c.journalSettle()
 }
 
 // noteTerminalLocked releases the campaign's admission slot on its first
@@ -346,17 +374,57 @@ func (c *Campaign) prepare(spec CampaignSpec) {
 	c.eng = eng
 	c.chips = chips
 	c.results = make([]*effitest.ChipResult, len(chips))
+	c.applyReplayLocked()
+	settled := false
+	if len(c.results) > 0 && c.completed == len(c.results) {
+		// Every chip replayed from the journal: the campaign is already
+		// done, it just never got to write its settle record.
+		c.state = StateDone
+		c.noteTerminalLocked()
+		c.finished = time.Now()
+		settled = true
+	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	if settled {
+		c.journalSettle()
+		return
+	}
 	c.m.enqueue(c)
+}
+
+// applyReplayLocked folds journal-recovered chip records into the freshly
+// resolved result set. A record is replayed only when it names a pending
+// in-range position whose re-sampled chip carries the recorded
+// manufacturing index — anything else re-executes, which is always
+// correct, just slower. Called with c.mu held, before any dispatch.
+func (c *Campaign) applyReplayLocked() {
+	for _, rec := range c.replay {
+		if rec.Index < 0 || rec.Index >= len(c.results) || c.results[rec.Index] != nil {
+			continue
+		}
+		if c.chips[rec.Index].Index != rec.ChipIndex {
+			continue
+		}
+		res := replayResult(c.chips[rec.Index], rec)
+		c.results[rec.Index] = res
+		c.completed++
+		if res.Err != nil {
+			c.failed++
+		} else {
+			c.agg.Observe(res.Outcome)
+		}
+		c.m.replayed.Add(1)
+	}
+	c.replay = nil
 }
 
 // failPrep marks a campaign that never reached the pool as failed (or
 // cancelled, when the failure was its own cancellation).
 func (c *Campaign) failPrep(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.state.Terminal() {
+		c.mu.Unlock()
 		return
 	}
 	if c.cancelled || c.ctx.Err() != nil {
@@ -368,6 +436,8 @@ func (c *Campaign) failPrep(err error) {
 	c.err = err
 	c.finished = time.Now()
 	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.journalSettle()
 }
 
 // run executes one chip on the caller's (worker) goroutine and delivers
@@ -391,6 +461,7 @@ func (c *Campaign) run(idx int) {
 		res.Outcome, res.Err = eng.RunChip(c.ctx, ch)
 	}
 	c.m.chipsExecuted.Add(1)
+	c.journalChip(&res)
 	c.deliver(res)
 }
 
@@ -398,8 +469,8 @@ func (c *Campaign) run(idx int) {
 // and settles the campaign when it was the last one.
 func (c *Campaign) deliver(res effitest.ChipResult) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.results[res.Index] != nil {
+		c.mu.Unlock()
 		return
 	}
 	c.results[res.Index] = &res
@@ -409,6 +480,7 @@ func (c *Campaign) deliver(res effitest.ChipResult) {
 	} else {
 		c.agg.Observe(res.Outcome)
 	}
+	settled := false
 	if c.completed == len(c.results) {
 		switch {
 		case c.cancelled:
@@ -420,8 +492,13 @@ func (c *Campaign) deliver(res effitest.ChipResult) {
 		if c.finished.IsZero() {
 			c.finished = time.Now()
 		}
+		settled = true
 	}
 	c.cond.Broadcast()
+	c.mu.Unlock()
+	if settled {
+		c.journalSettle()
+	}
 }
 
 // job is one (campaign, chip index) unit of pool work.
@@ -439,10 +516,13 @@ type Manager struct {
 	plans     *PlanStore
 	obs       effitest.Observer
 	maxQueued int // admission bound on non-terminal campaigns (0 = unbounded)
+	journal   *journal.Journal
 
 	chipsExecuted atomic.Int64 // chips run on the pool since start
 	backlog       atomic.Int64 // campaigns in a non-terminal state
 	rejected      atomic.Int64 // submissions refused by admission control
+	recovered     atomic.Int64 // campaigns rebuilt from the journal at boot
+	replayed      atomic.Int64 // chip results replayed from the journal
 
 	jobs           chan job
 	wake           chan struct{}
@@ -457,6 +537,7 @@ type Manager struct {
 	closed    bool
 	nextID    int
 	campaigns map[string]*Campaign
+	byKey     map[string]*Campaign // campaigns with an idempotency key
 	order     []*Campaign
 	active    []*Campaign // campaigns with undispatched chips, round-robin
 	rr        int
@@ -537,6 +618,7 @@ func NewManager(opts ...ManagerOption) (*Manager, error) {
 		dispatcherDone: make(chan struct{}),
 		drained:        make(chan struct{}),
 		campaigns:      map[string]*Campaign{},
+		byKey:          map[string]*Campaign{},
 	}
 	for _, o := range opts {
 		if err := o(m); err != nil {
@@ -573,6 +655,14 @@ func (m *Manager) Workers() int { return m.workers }
 // Submit registers a campaign and returns immediately; engine resolution
 // (possibly a cold Prepare), chip sampling and execution all happen
 // asynchronously. Watch it with Status, Results or Wait.
+//
+// When spec.Key names an already-registered campaign, that campaign is
+// returned instead of creating a duplicate (regardless of its state) —
+// submit idempotency for clients retrying through failures. When the
+// manager has a journal (WithJournal), the spec record is durably appended
+// before Submit returns; a journal write failure (disk full, I/O error)
+// refuses the submit rather than accepting work that could not be made
+// recoverable.
 func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 	if spec.Circuit == nil {
 		return nil, fmt.Errorf("fleet: campaign needs a circuit")
@@ -586,9 +676,16 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 	if spec.ChipFirst < 0 {
 		return nil, fmt.Errorf("fleet: campaign chip range start must be non-negative, got %d", spec.ChipFirst)
 	}
+	// The journal's spec record is assembled outside m.mu (fingerprinting
+	// hashes the whole netlist); only the durable append serializes.
+	jspec, err := m.journalSpec(spec)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Campaign{
 		name:      spec.Name,
+		key:       spec.Key,
 		m:         m,
 		ctx:       ctx,
 		cancel:    cancel,
@@ -603,6 +700,13 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 		cancel()
 		return nil, ErrManagerClosed
 	}
+	if spec.Key != "" {
+		if prior, ok := m.byKey[spec.Key]; ok {
+			m.mu.Unlock()
+			cancel()
+			return prior, nil
+		}
+	}
 	// Admission control: bound the non-terminal backlog. Checked under m.mu
 	// so concurrent submits serialize against the increment; the slot is
 	// released (via noteTerminalLocked) when the campaign settles.
@@ -616,13 +720,43 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 	m.backlog.Add(1)
 	m.nextID++
 	c.id = fmt.Sprintf("c%06d", m.nextID)
-	m.campaigns[c.id] = c
-	m.order = append(m.order, c)
-	m.prepWG.Add(1)
+	if m.journal != nil {
+		jspec.ID = c.id
+		if err := m.journal.Begin(jspec); err != nil {
+			m.backlog.Add(-1)
+			m.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("fleet: journaling campaign: %w", err)
+		}
+		c.journaled = true
+	}
+	m.registerLocked(c)
 	m.mu.Unlock()
 
 	go c.prepare(spec)
 	return c, nil
+}
+
+// registerLocked inserts a campaign into the manager's tables and reserves
+// its prepare slot. Called with m.mu held.
+func (m *Manager) registerLocked(c *Campaign) {
+	m.campaigns[c.id] = c
+	if c.key != "" {
+		m.byKey[c.key] = c
+	}
+	m.order = append(m.order, c)
+	m.prepWG.Add(1)
+}
+
+// CampaignByKey looks a campaign up by its idempotency key.
+func (m *Manager) CampaignByKey(key string) (*Campaign, bool) {
+	if key == "" {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.byKey[key]
+	return c, ok
 }
 
 // ManagerStats is a point-in-time snapshot of the manager's load: the
@@ -651,15 +785,37 @@ type ManagerStats struct {
 	// unbounded) and CampaignsRejected counts submissions it refused.
 	QueueLimit        int
 	CampaignsRejected int64
+	// Durability counters (zero without WithJournal). CampaignsRecovered
+	// counts campaigns rebuilt from the journal at boot; ChipsReplayed
+	// counts chip results emitted from journal records instead of being
+	// re-executed — ChipsExecuted deliberately excludes them, so
+	// "executed + replayed == population" is the recovery invariant tests
+	// and operators assert.
+	CampaignsRecovered int64
+	ChipsReplayed      int64
+	// Journal footprint and health (see journal.Stats).
+	JournalSegments     int
+	JournalOpenSegments int
+	JournalBytes        int64
+	JournalAppendErrors int64
 }
 
 // Stats snapshots the manager's campaign and chip counters.
 func (m *Manager) Stats() ManagerStats {
 	st := ManagerStats{
-		Workers:           m.workers,
-		ChipsExecuted:     m.chipsExecuted.Load(),
-		QueueLimit:        m.maxQueued,
-		CampaignsRejected: m.rejected.Load(),
+		Workers:            m.workers,
+		ChipsExecuted:      m.chipsExecuted.Load(),
+		QueueLimit:         m.maxQueued,
+		CampaignsRejected:  m.rejected.Load(),
+		CampaignsRecovered: m.recovered.Load(),
+		ChipsReplayed:      m.replayed.Load(),
+	}
+	if m.journal != nil {
+		js := m.journal.Stats()
+		st.JournalSegments = js.Segments
+		st.JournalOpenSegments = js.OpenSegments
+		st.JournalBytes = js.Bytes
+		st.JournalAppendErrors = js.AppendErrors
 	}
 	m.mu.Lock()
 	camps := slices.Clone(m.order)
@@ -758,6 +914,11 @@ func (m *Manager) nextJob() (job, bool) {
 		c := m.active[m.rr]
 		c.mu.Lock()
 		n := len(c.chips)
+		// Skip positions that already hold a result — chips replayed from
+		// the journal occupy their slots before dispatch ever starts.
+		for c.nextDispatch < len(c.results) && c.results[c.nextDispatch] != nil {
+			c.nextDispatch++
+		}
 		c.mu.Unlock()
 		if c.nextDispatch >= n {
 			m.dropActiveLocked(c)
@@ -818,6 +979,17 @@ func (m *Manager) worker() {
 // Shutdown keeps waiting for the goroutines, returning the context's
 // error. Shutdown is idempotent: one caller performs the drain, later and
 // concurrent calls wait for it (or their own context).
+//
+// With a journal attached (WithJournal) the durable contract differs from
+// the in-memory one: the ErrManagerClosed fills and the resulting
+// cancelled states are scheduling artifacts of this process, so they are
+// NOT written to the log — no settle record is appended once the drain
+// has begun, and undispatched chips stay unsettled in their segments.
+// In-flight chips that complete during the drain are journaled as usual.
+// A campaign interrupted by Shutdown therefore recovers on the next boot
+// exactly like one interrupted by a crash: completed chips replay, the
+// rest re-execute. Closing the journal itself remains the caller's job,
+// after Shutdown returns.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	first := false
 	m.shutdownOnce.Do(func() {

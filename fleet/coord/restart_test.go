@@ -1,0 +1,230 @@
+package coord_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"effitest"
+	"effitest/fleet"
+	"effitest/fleet/coord"
+	"effitest/fleet/httpapi"
+	"effitest/fleet/journal"
+	"effitest/internal/conformance"
+)
+
+// swapHandler is a daemon front that can atomically exchange its backing
+// handler mid-request-stream — the loopback stand-in for a daemon process
+// restarting behind a stable address.
+type swapHandler struct {
+	h atomic.Value // http.Handler
+}
+
+func newSwapHandler(h http.Handler) *swapHandler {
+	s := &swapHandler{}
+	s.h.Store(&h)
+	return s
+}
+
+func (s *swapHandler) swap(h http.Handler) { s.h.Store(&h) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load().(*http.Handler)).ServeHTTP(w, r)
+}
+
+func daemonHandler(m *fleet.Manager) http.Handler {
+	return httpapi.New(m,
+		httpapi.WithAuthToken(coordToken),
+		httpapi.WithRateLimit(10000, 10000),
+	)
+}
+
+// releaseOnce closes ch at most once (tests release gates from both the
+// happy path and cleanup).
+func releaseOnce(ch chan struct{}) func() {
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
+// A node that crashes mid-shard and restarts WITH its journal must be
+// transparent to the coordinator: the recovered daemon still knows the
+// campaign ID, the result stream resumes where it broke, journaled chips
+// replay instead of re-executing, and the merged run stays bit-identical —
+// no dead node, no rebalance.
+func TestNodeRestartWithJournalResumesStream(t *testing.T) {
+	sc := tiny64Scenario(t)
+	ctx := context.Background()
+	inproc, err := conformance.RunPipeline(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	j1, err := journal.Open(dir, journal.WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The doomed first process: completes exactly chips 0 and 1, then its
+	// remaining workers block in the gate.
+	gate := &gateBackend{allowBelow: 2, release: make(chan struct{})}
+	release := releaseOnce(gate.release)
+	reg, err := fleet.NewRegistry(fleet.WithEngineOptions(effitest.WithBackend(gate)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := fleet.NewManager(fleet.WithWorkers(2), fleet.WithRegistry(reg), fleet.WithJournal(j1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := newSwapHandler(daemonHandler(m1))
+	ts := httptest.NewServer(sw)
+	t.Cleanup(func() {
+		release()
+		m1.Shutdown(context.Background())
+		ts.Close()
+	})
+
+	co, err := coord.New([]string{ts.URL}, coord.WithClock(&instantClock{}), coord.WithAuthToken(coordToken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := co.Start(ctx, tiny64Spec(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var m2 *fleet.Manager
+	var got []httpapi.ChipResult
+	for res, rerr := range run.Results(ctx) {
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		got = append(got, res)
+		if len(got) == 2 {
+			// The crash + restart, behind the same address. Order matters:
+			// the journal closes first (nothing later reaches disk), the
+			// replacement process recovers and swaps in, and only then are
+			// the live connections cut — so the coordinator's very next
+			// retry lands on the recovered daemon.
+			if err := j1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j2, err := journal.Open(dir, journal.WithoutSync())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err = fleet.NewManager(fleet.WithWorkers(2), fleet.WithJournal(j2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := m2.Recover(httpapi.SpecDecoder(m2.Plans()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.Campaigns != 1 || rs.ChipsReplayed < 2 {
+				t.Fatalf("restarted node recovered %+v", rs)
+			}
+			t.Cleanup(func() { m2.Shutdown(context.Background()) })
+			sw.swap(daemonHandler(m2))
+			ts.CloseClientConnections()
+		}
+	}
+	sum, err := run.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, inproc, got, sum)
+
+	// The restart looked like a stream hiccup, not a death: nothing was
+	// rebalanced because nothing was lost.
+	if len(sum.DeadNodes) != 0 || sum.RebalancedChips != 0 {
+		t.Fatalf("journal restart treated as node loss: %+v", sum)
+	}
+	ms := m2.Stats()
+	if ms.CampaignsRecovered != 1 {
+		t.Fatalf("CampaignsRecovered = %d, want 1", ms.CampaignsRecovered)
+	}
+	if ms.ChipsReplayed != 2 || ms.ChipsExecuted != int64(sc.Chips-2) {
+		t.Fatalf("replayed %d / executed %d, want 2 / %d — journaled chips must not re-run",
+			ms.ChipsReplayed, ms.ChipsExecuted, sc.Chips-2)
+	}
+}
+
+// A node that restarts WITHOUT a journal forgets the campaign: the
+// coordinator's stream resume gets 404. The shard's deterministic
+// idempotency key turns that into re-adoption — re-submit, re-execute,
+// merge dedup — and the run still finishes bit-identical with no node
+// marked dead.
+func TestNodeRestartWithoutJournalReadoptsByKey(t *testing.T) {
+	sc := tiny64Scenario(t)
+	ctx := context.Background()
+	inproc, err := conformance.RunPipeline(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := &gateBackend{allowBelow: 2, release: make(chan struct{})}
+	release := releaseOnce(gate.release)
+	reg, err := fleet.NewRegistry(fleet.WithEngineOptions(effitest.WithBackend(gate)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := fleet.NewManager(fleet.WithWorkers(2), fleet.WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := newSwapHandler(daemonHandler(m1))
+	ts := httptest.NewServer(sw)
+	t.Cleanup(func() {
+		release()
+		m1.Shutdown(context.Background())
+		ts.Close()
+	})
+
+	clock := &instantClock{}
+	co, err := coord.New([]string{ts.URL}, coord.WithClock(clock), coord.WithAuthToken(coordToken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := co.Start(ctx, tiny64Spec(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var m2 *fleet.Manager
+	var got []httpapi.ChipResult
+	for res, rerr := range run.Results(ctx) {
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		got = append(got, res)
+		if len(got) == 2 {
+			// Restart with amnesia: a fresh manager, no journal. The next
+			// stream request for the old campaign ID will 404.
+			m2, err = fleet.NewManager(fleet.WithWorkers(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { m2.Shutdown(context.Background()) })
+			sw.swap(daemonHandler(m2))
+			ts.CloseClientConnections()
+		}
+	}
+	sum, err := run.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, inproc, got, sum)
+
+	if len(sum.DeadNodes) != 0 || sum.RebalancedChips != 0 {
+		t.Fatalf("404 re-adoption treated as node loss: %+v", sum)
+	}
+	// The whole shard re-executed on the amnesiac node (chips 0 and 1 were
+	// re-delivered and dropped by the merge's dedup).
+	if ms := m2.Stats(); ms.ChipsExecuted != int64(sc.Chips) {
+		t.Fatalf("restarted node executed %d chips, want the full %d", ms.ChipsExecuted, sc.Chips)
+	}
+}

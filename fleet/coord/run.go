@@ -2,6 +2,9 @@ package coord
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"iter"
@@ -201,9 +204,37 @@ func (r *Run) observePeriod(n *node, p float64) {
 	}
 }
 
+// shardKey derives the deterministic idempotency key one shard submits
+// under: the SHA-256 of the request document itself (hashed before the
+// key is set), so the same shard of the same spec always re-submits as
+// the same campaign. A journalled daemon answers a duplicate key with the
+// existing — possibly recovered — campaign instead of starting a second
+// execution, which is what makes re-adoption after a node restart safe.
+// Identical shards of identical specs across separate coordinator runs
+// also collide, deliberately: the flow is deterministic, so the daemon's
+// prior campaign holds the exact results a re-execution would produce.
+func shardKey(req httpapi.CampaignRequest) string {
+	b, _ := json.Marshal(req)
+	sum := sha256.Sum256(b)
+	return "coord-" + hex.EncodeToString(sum[:16])
+}
+
+// isNotFound reports whether err is the daemon answering that the
+// campaign ID does not exist — the signature of a node that restarted
+// without a journal (or lost the campaign's segment) while we streamed.
+func isNotFound(err error) bool {
+	var aerr *client.APIError
+	return errors.As(err, &aerr) && aerr.StatusCode == http.StatusNotFound
+}
+
 // runShard executes one assignment: submit the shard range, stream its
 // NDJSON results (resuming across transient breaks), and either finish it
-// or hand its unfinished chips to nodeLost for rebalancing.
+// or hand its unfinished chips to nodeLost for rebalancing. A node that
+// answers but has forgotten the campaign ID (it restarted) is re-adopted
+// in place: the shard re-submits under its idempotency key, picking up
+// the recovered campaign on a journalled daemon or starting the shard
+// over on a bare one — the merge's dedup keeps every chip exactly-once
+// either way.
 func (r *Run) runShard(n *node, pos, count int) {
 	var agg yield.Agg
 	defer func() {
@@ -223,12 +254,16 @@ func (r *Run) runShard(n *node, pos, count int) {
 		Chips:   httpapi.ChipSpec{Seed: r.spec.Chips.Seed, Count: count, First: r.base + pos},
 		PlanID:  r.planID,
 	}
+	req.Key = shardKey(req)
 	var st httpapi.CampaignStatus
-	if err := r.retry(ctx, func(ctx context.Context) error {
-		var e error
-		st, e = n.cl.Submit(ctx, req)
-		return e
-	}); err != nil {
+	submit := func() error {
+		return r.retry(ctx, func(ctx context.Context) error {
+			var e error
+			st, e = n.cl.Submit(ctx, req)
+			return e
+		})
+	}
+	if err := submit(); err != nil {
 		if ctx.Err() != nil {
 			return
 		}
@@ -252,6 +287,23 @@ func (r *Run) runShard(n *node, pos, count int) {
 	held := map[int]httpapi.ChipResult{}
 	received := 0
 	stall := 0
+
+	// readopt re-submits the shard under its unchanged idempotency key
+	// after the node stopped recognizing the campaign ID. Stream progress
+	// resets — the adopted campaign may be a fresh execution with its own
+	// result sequence — and already-accepted chips dedup in accept.
+	readopt := func(cause error) bool {
+		if err := submit(); err != nil {
+			if ctx.Err() == nil {
+				r.nodeLost(n, pos, count, fmt.Errorf("re-adopting shard after %v: %w", cause, err))
+			}
+			return false
+		}
+		id = st.ID
+		received = 0
+		held = map[int]httpapi.ChipResult{}
+		return true
+	}
 	for {
 		if ctx.Err() != nil {
 			return
@@ -276,37 +328,50 @@ func (r *Run) runShard(n *node, pos, count int) {
 			// Clean end of stream: the campaign settled, or the daemon cut
 			// the response early. A status probe tells which.
 			var fin httpapi.CampaignStatus
-			if err := r.retry(ctx, func(ctx context.Context) error {
+			ferr := r.retry(ctx, func(ctx context.Context) error {
 				var e error
 				fin, e = n.cl.Status(ctx, id)
 				return e
-			}); err != nil {
-				if ctx.Err() == nil {
-					r.nodeLost(n, pos, count, err)
+			})
+			switch {
+			case ferr == nil:
+				switch fleet.State(fin.State) {
+				case fleet.StateDone:
+					for li, res := range held {
+						r.accept(pos+li, res, &agg)
+					}
+					r.observePeriod(n, fin.Period)
+					return
+				case fleet.StateCancelled:
+					// The campaign died under us (daemon draining or an
+					// operator cancel): rerun whatever is unfinished elsewhere.
+					r.nodeLost(n, pos, count, fmt.Errorf("coord: campaign %s on %s settled cancelled", id, n.url))
+					return
+				case fleet.StateFailed:
+					// Campaign-level failure is spec-level (engine construction
+					// or sampling): every node would fail the same way.
+					r.fail(fmt.Errorf("coord: campaign %s on %s failed: %s", id, n.url, fin.Error))
+					return
 				}
+				// Stream ended but the campaign is live: resume below.
+			case ctx.Err() != nil:
+				return
+			case isNotFound(ferr):
+				if !readopt(ferr) {
+					return
+				}
+			default:
+				r.nodeLost(n, pos, count, ferr)
 				return
 			}
-			switch fleet.State(fin.State) {
-			case fleet.StateDone:
-				for li, res := range held {
-					r.accept(pos+li, res, &agg)
-				}
-				r.observePeriod(n, fin.Period)
-				return
-			case fleet.StateCancelled:
-				// The campaign died under us (daemon draining or an
-				// operator cancel): rerun whatever is unfinished elsewhere.
-				r.nodeLost(n, pos, count, fmt.Errorf("coord: campaign %s on %s settled cancelled", id, n.url))
-				return
-			case fleet.StateFailed:
-				// Campaign-level failure is spec-level (engine construction
-				// or sampling): every node would fail the same way.
-				r.fail(fmt.Errorf("coord: campaign %s on %s failed: %s", id, n.url, fin.Error))
-				return
-			}
-			// Stream ended but the campaign is live: resume below.
 		case ctx.Err() != nil:
 			return
+		case isNotFound(streamErr):
+			// The node is answering but forgot the campaign: it restarted.
+			// Re-adopt rather than fail — the work is recoverable.
+			if !readopt(streamErr) {
+				return
+			}
 		case !client.IsTransient(streamErr):
 			r.fail(fmt.Errorf("coord: node %s result stream: %w", n.url, streamErr))
 			return

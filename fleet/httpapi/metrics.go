@@ -210,6 +210,15 @@ func (mx *Metrics) render(w io.Writer, ms fleet.ManagerStats, rs fleet.RegistryS
 	gauge(w, "effitestd_chips_pending", "Resolved chips not yet dispatched to the pool.", int64(ms.ChipsPending))
 	gauge(w, "effitestd_chips_in_flight", "Dispatched chips without a result yet.", int64(ms.ChipsInFlight))
 	counter(w, "effitestd_chips_executed_total", "Chips run on the pool since start.", ms.ChipsExecuted)
+	// Durability counters. The effitest_ (not effitestd_) prefix on the two
+	// recovery counters is deliberate: they describe the campaign's logical
+	// history, which survives daemon restarts, not this process.
+	counter(w, "effitest_campaigns_recovered_total", "Campaigns rebuilt from the journal at boot.", ms.CampaignsRecovered)
+	counter(w, "effitest_chips_replayed_total", "Chip results replayed from the journal instead of re-executed.", ms.ChipsReplayed)
+	gauge(w, "effitestd_journal_segments", "Campaign journal segments on disk (open + settled).", int64(ms.JournalSegments))
+	gauge(w, "effitestd_journal_open_segments", "Journal segments still accepting appends (unsettled campaigns).", int64(ms.JournalOpenSegments))
+	gauge(w, "effitestd_journal_bytes", "Bytes held by campaign journal segments.", ms.JournalBytes)
+	counter(w, "effitestd_journal_append_errors_total", "Journal appends that failed (I/O error, disk full).", ms.JournalAppendErrors)
 	gauge(w, "effitestd_engines_live", "Live engines in the registry (including in-flight constructions).", int64(rs.Live))
 	counter(w, "effitestd_registry_hits_total", "Registry requests served an existing engine.", int64(rs.Hits))
 	counter(w, "effitestd_registry_misses_total", "Registry requests that constructed an engine.", int64(rs.Misses))

@@ -1,0 +1,219 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"effitest/fleet"
+	"effitest/fleet/httpapi"
+	"effitest/fleet/journal"
+)
+
+// postCampaign submits a raw body and returns the HTTP status code and the
+// decoded campaign status, for tests that assert the 200-vs-202 contract
+// the typed client deliberately papers over.
+func postCampaign(t *testing.T, ts *httptest.Server, body string) (int, httpapi.CampaignStatus) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/campaigns", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+testToken)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st httpapi.CampaignStatus
+	if resp.StatusCode < 400 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+const keyedBody = `{
+	"name": "keyed",
+	"key": "lot-7-retry",
+	"circuit": {"custom": {"name": "k24", "ffs": 24, "gates": 200, "buffers": 3, "paths": 24}, "gen_seed": 4},
+	"config": {"align": "heuristic", "quantile": 0.8413, "calib_chips": 100},
+	"chips": {"seed": 5, "count": 3}
+}`
+
+// TestSubmitIdempotencyKeyHTTP pins the wire contract for client-chosen
+// campaign keys: first submit 202, duplicate submit 200 with the SAME
+// campaign (not 409 — a retry is not a conflict), malformed keys 400.
+func TestSubmitIdempotencyKeyHTTP(t *testing.T) {
+	m, err := fleet.NewManager(fleet.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.New(m, httpapi.WithAuthToken(testToken)))
+	t.Cleanup(func() {
+		m.Shutdown(context.Background())
+		ts.Close()
+	})
+
+	code, first := postCampaign(t, ts, keyedBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d, want 202", code)
+	}
+	// The duplicate may even carry a different body: the key wins, and the
+	// caller gets the original campaign back.
+	code, dup := postCampaign(t, ts, strings.Replace(keyedBody, `"keyed"`, `"keyed-retry"`, 1))
+	if code != http.StatusOK {
+		t.Fatalf("duplicate submit: HTTP %d, want 200", code)
+	}
+	if dup.ID != first.ID {
+		t.Fatalf("duplicate key created campaign %s, want %s", dup.ID, first.ID)
+	}
+
+	for _, bad := range []string{
+		`{"key": "has spaces", "circuit": {"profile": "s9234"}, "chips": {"count": 1}}`,
+		`{"key": "` + strings.Repeat("x", 129) + `", "circuit": {"profile": "s9234"}, "chips": {"count": 1}}`,
+	} {
+		if code, _ := postCampaign(t, ts, bad); code != http.StatusBadRequest {
+			t.Fatalf("invalid key accepted with HTTP %d", code)
+		}
+	}
+}
+
+// TestHTTPRecoveryRoundTrip drives the full durable path through the HTTP
+// surface: a keyed campaign is submitted over the wire, the journal
+// "crashes" immediately (only the spec record is guaranteed on disk), and
+// a second manager recovers from the directory via SpecDecoder — the
+// original POST body IS the journal payload. The recovered campaign keeps
+// its ID and key, finishes, and serves the identical aggregate; a client
+// retrying its submit against the new process gets 200 and the original
+// campaign.
+func TestHTTPRecoveryRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	j1, err := journal.Open(dir, journal.WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := fleet.NewManager(fleet.WithWorkers(2), fleet.WithJournal(j1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(httpapi.New(m1, httpapi.WithAuthToken(testToken)))
+	t.Cleanup(func() {
+		m1.Shutdown(context.Background())
+		ts1.Close()
+	})
+
+	code, st1 := postCampaign(t, ts1, keyedBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	// The crash: from here on nothing else reaches the directory. The spec
+	// record was fsynced before the 202, so the campaign is recoverable no
+	// matter how far execution got.
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the doomed process finish anyway: its aggregate is the reference
+	// the recovered campaign must reproduce.
+	camp1, ok := m1.Campaign(st1.ID)
+	if !ok {
+		t.Fatal("campaign missing from first manager")
+	}
+	ref, err := camp1.Wait(ctx)
+	if err != nil || ref.State != fleet.StateDone {
+		t.Fatalf("reference: %v %v", ref.State, err)
+	}
+	refAgg, err := cliFor(ts1).Aggregate(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery boot.
+	j2, err := journal.Open(dir, journal.WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := fleet.NewManager(fleet.WithWorkers(2), fleet.WithJournal(j2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := m2.Recover(httpapi.SpecDecoder(m2.Plans()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Campaigns != 1 || rs.Skipped != 0 {
+		t.Fatalf("recover: %+v", rs)
+	}
+	ts2 := httptest.NewServer(httpapi.New(m2, httpapi.WithAuthToken(testToken)))
+	t.Cleanup(func() {
+		m2.Shutdown(context.Background())
+		ts2.Close()
+	})
+	cl2 := cliFor(ts2)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := cl2.Status(ctx, st1.ID)
+		if err != nil {
+			t.Fatalf("recovered campaign %s not served: %v", st1.ID, err)
+		}
+		if st.State == string(fleet.StateDone) {
+			break
+		}
+		if st.State == string(fleet.StateFailed) || st.State == string(fleet.StateCancelled) {
+			t.Fatalf("recovered campaign settled %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered campaign stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	gotAgg, err := cl2.Aggregate(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAgg != refAgg {
+		t.Fatalf("recovered aggregate diverges:\nrecovered: %+v\nreference: %+v", gotAgg, refAgg)
+	}
+
+	// Idempotency survives the restart: the same keyed submit now answers
+	// 200 with the recovered campaign.
+	code, dup := postCampaign(t, ts2, keyedBody)
+	if code != http.StatusOK || dup.ID != st1.ID {
+		t.Fatalf("keyed re-submit after recovery: HTTP %d id %s, want 200 %s", code, dup.ID, st1.ID)
+	}
+
+	// And /stats reports the recovery.
+	stats, err := cl2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CampaignsRecovered != 1 {
+		t.Fatalf("stats.CampaignsRecovered = %d, want 1", stats.CampaignsRecovered)
+	}
+	if stats.ChipsReplayed+stats.ChipsExecuted != 3 {
+		t.Fatalf("replayed %d + executed %d != 3", stats.ChipsReplayed, stats.ChipsExecuted)
+	}
+	var buf bytes.Buffer
+	resp, err := ts2.Client().Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"effitest_campaigns_recovered_total 1", "effitestd_journal_segments"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}

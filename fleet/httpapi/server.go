@@ -144,12 +144,38 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.render(w, s.m.Stats(), s.m.Registry().Stats())
 }
 
+// submit handles POST /v1/campaigns. The raw body is retained past
+// decoding: it becomes the campaign's journal payload — the exact bytes a
+// recovering daemon re-decodes through SpecDecoder — so the journal's
+// notion of the spec can never drift from the API's.
+//
+// Idempotency: a request whose key matches a known campaign returns that
+// campaign with 200 (not 409 — the duplicate is the success case: the
+// client is re-asking for work the daemon already committed). Two
+// concurrent first submits of one key both get the same campaign; the
+// loser of that race may see 202 for it, which is harmless — the body, not
+// the code, carries the campaign.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
-	var req CampaignRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPlanUpload)).Decode(&req); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPlanUpload))
+	if err != nil {
 		code, err := bodyError("campaign request", err)
 		writeError(w, r, code, err)
 		return
+	}
+	var req CampaignRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding campaign request: %w", err))
+		return
+	}
+	if req.Key != "" {
+		if err := ValidateCampaignKey(req.Key); err != nil {
+			writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		if prior, ok := s.m.CampaignByKey(req.Key); ok {
+			writeJSON(w, r, http.StatusOK, StatusWire(prior.Status()))
+			return
+		}
 	}
 	c, err := req.Circuit.Build()
 	if err != nil {
@@ -162,12 +188,15 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := fleet.CampaignSpec{
-		Name:      req.Name,
-		Circuit:   c,
-		Options:   opts,
-		ChipSeed:  req.Chips.Seed,
-		ChipCount: req.Chips.Count,
-		ChipFirst: req.Chips.First,
+		Name:           req.Name,
+		Circuit:        c,
+		Options:        opts,
+		ChipSeed:       req.Chips.Seed,
+		ChipCount:      req.Chips.Count,
+		ChipFirst:      req.Chips.First,
+		Key:            req.Key,
+		PlanID:         req.PlanID,
+		JournalPayload: body,
 	}
 	if req.PlanID != "" {
 		pl, ok, err := s.m.Plans().Decode(req.PlanID)
@@ -195,6 +224,24 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, r, http.StatusAccepted, StatusWire(camp.Status()))
+}
+
+// ValidateCampaignKey checks a client-chosen idempotency key: 1–128 bytes
+// of [A-Za-z0-9._-]. The bound is about hostile input, not taste — keys
+// land in journal records and manager tables verbatim.
+func ValidateCampaignKey(key string) error {
+	if key == "" || len(key) > 128 {
+		return fmt.Errorf("campaign key must be 1-128 characters, got %d", len(key))
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("campaign key %q: only [A-Za-z0-9._-] allowed", key)
+		}
+	}
+	return nil
 }
 
 // bodyError maps a request-body decode failure to a status code: a body

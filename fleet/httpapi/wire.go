@@ -45,6 +45,13 @@ type CampaignRequest struct {
 	// PlanID references a previously uploaded plan artifact; the campaign's
 	// engine is then built from the artifact instead of running Prepare.
 	PlanID string `json:"plan_id,omitempty"`
+	// Key is an optional client-chosen idempotency key (1–128 bytes of
+	// [A-Za-z0-9._-]). Submitting a key the daemon already knows returns
+	// the existing campaign with 200 instead of creating a duplicate — so
+	// a client that got a 5xx for a submit the daemon actually committed
+	// (or that raced a daemon restart) can retry blindly. Keys survive
+	// daemon restarts when the daemon journals campaigns (-journal-dir).
+	Key string `json:"key,omitempty"`
 }
 
 // CircuitSpec names a circuit three ways: a Table-1 benchmark profile, a
@@ -267,6 +274,16 @@ type Stats struct {
 	ChipsExecuted int64 `json:"chips_executed"`
 	ChipsPending  int   `json:"chips_pending"`
 	ChipsInFlight int   `json:"chips_in_flight"`
+
+	// Durability: campaigns rebuilt from the journal at boot, chip results
+	// replayed from it instead of re-executed (chips_executed excludes
+	// them), and the journal's footprint and append-failure count. All
+	// zero when the daemon runs without -journal-dir.
+	CampaignsRecovered  int64 `json:"campaigns_recovered,omitempty"`
+	ChipsReplayed       int64 `json:"chips_replayed,omitempty"`
+	JournalSegments     int   `json:"journal_segments,omitempty"`
+	JournalBytes        int64 `json:"journal_bytes,omitempty"`
+	JournalAppendErrors int64 `json:"journal_append_errors,omitempty"`
 }
 
 // StatsWire merges the registry and manager snapshots into the wire form.
@@ -289,6 +306,12 @@ func StatsWire(rs fleet.RegistryStats, ms fleet.ManagerStats) Stats {
 		ChipsExecuted:      ms.ChipsExecuted,
 		ChipsPending:       ms.ChipsPending,
 		ChipsInFlight:      ms.ChipsInFlight,
+
+		CampaignsRecovered:  ms.CampaignsRecovered,
+		ChipsReplayed:       ms.ChipsReplayed,
+		JournalSegments:     ms.JournalSegments,
+		JournalBytes:        ms.JournalBytes,
+		JournalAppendErrors: ms.JournalAppendErrors,
 	}
 }
 

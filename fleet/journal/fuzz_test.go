@@ -1,0 +1,139 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzJournalReplay throws arbitrary bytes at segment recovery as the file
+// for campaign "c000001" and holds the journal to its safety contract:
+//
+//   - Recover never panics and never errors on content damage (only real
+//     I/O faults may surface as errors);
+//   - it never fabricates: at most one campaign comes back, its ID is the
+//     file's ID, chip indices are unique, in range, and a chip without an
+//     error always carries an outcome;
+//   - repair converges: a second open-and-recover of the repaired
+//     directory reproduces the first result exactly.
+//
+// Seeds cover the interesting shapes: intact logs, settled logs, torn
+// tails, bit flips, trailing records after settle, and cross-linked
+// segments claiming another campaign's ID. The checked-in corpus under
+// testdata/fuzz/FuzzJournalReplay pins the same shapes for CI runs, where
+// the fuzzer only replays the corpus.
+func FuzzJournalReplay(f *testing.F) {
+	for _, seed := range corpusSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "c000001.wal")
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		j, err := Open(dir, WithoutSync())
+		if err != nil {
+			t.Fatal(err)
+		}
+		camps, err := j.Recover()
+		if err != nil {
+			t.Fatalf("Recover errored on content damage: %v", err)
+		}
+		if len(camps) > 1 {
+			t.Fatalf("one segment produced %d campaigns", len(camps))
+		}
+		if len(camps) == 1 {
+			c := camps[0]
+			if c.Spec.ID != "c000001" {
+				t.Fatalf("fabricated campaign %q from file c000001.wal", c.Spec.ID)
+			}
+			seen := map[int]bool{}
+			for _, ch := range c.Chips {
+				if ch.Index < 0 || (c.Spec.ChipCount > 0 && ch.Index >= c.Spec.ChipCount) {
+					t.Fatalf("chip index %d outside population %d", ch.Index, c.Spec.ChipCount)
+				}
+				if seen[ch.Index] {
+					t.Fatalf("duplicate chip index %d survived replay", ch.Index)
+				}
+				seen[ch.Index] = true
+				if ch.Error == "" && ch.Outcome == nil {
+					t.Fatal("outcome-less success record survived replay")
+				}
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Repair must converge: recovering the repaired directory again
+		// (truncated tails cut, corrupt segments set aside) yields the
+		// identical campaigns.
+		j2, err := Open(dir, WithoutSync())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j2.Close()
+		again, err := j2.Recover()
+		if err != nil {
+			t.Fatalf("second Recover: %v", err)
+		}
+		if !reflect.DeepEqual(camps, again) {
+			t.Fatalf("repair did not converge:\nfirst:  %+v\nsecond: %+v", camps, again)
+		}
+	})
+}
+
+// corpusSeeds builds the seed inputs with the real encoder, so they track
+// the format. The files in testdata/fuzz/FuzzJournalReplay hold the same
+// shapes frozen at generation time.
+func corpusSeeds() [][]byte {
+	mustFrame := func(buf []byte, typ byte, v any) []byte {
+		frame, err := encodeRecord(typ, v)
+		if err != nil {
+			panic(err)
+		}
+		return append(buf, frame...)
+	}
+	sp := Spec{ID: "c000001", Key: "k", CircuitFP: "cfp", ConfigFP: "ofp", ChipSeed: 7, ChipCount: 4, Payload: []byte(`{"n":1}`)}
+	ch := func(i int) ChipRecord {
+		return ChipRecord{Index: i, ChipIndex: 100 + i, Outcome: &Outcome{
+			Iterations: 40 + i, ScanBits: 1000, BoundsLo: []float64{0.5}, BoundsHi: []float64{1.5}, Passed: true,
+		}}
+	}
+
+	var intact []byte
+	intact = mustFrame(intact, recSpec, sp)
+	intact = mustFrame(intact, recChip, ch(0))
+	intact = mustFrame(intact, recChip, ch(1))
+
+	settled := mustFrame(nil, recSpec, sp)
+	settled = mustFrame(settled, recSettle, settleRecord{State: "done"})
+
+	torn := append(append([]byte{}, intact...), 0x18, 0x00, 0x00)
+
+	flipped := append([]byte{}, intact...)
+	flipped[len(flipped)-10] ^= 0x40
+
+	wrongID := mustFrame(nil, recSpec, Spec{ID: "c000777", ChipCount: 2})
+	wrongID = mustFrame(wrongID, recChip, ch(0))
+
+	afterSettle := append(append([]byte{}, settled...), mustFrame(nil, recChip, ch(2))...)
+	afterSettle = append(afterSettle, appendFrame(nil, 99, []byte(`{"future":true}`))...)
+
+	var hugeLen []byte
+	hugeLen = append(hugeLen, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0)
+
+	return [][]byte{
+		intact,
+		settled,
+		torn,
+		flipped,
+		wrongID,
+		afterSettle,
+		hugeLen,
+		{},
+		[]byte("not a journal segment at all"),
+	}
+}
