@@ -13,6 +13,7 @@
 //	effcheck -filter tiny64   # run matching scenarios only
 //	effcheck -update          # regenerate the golden corpus
 //	effcheck -v               # print every out-of-tolerance field
+//	effcheck -manifest s.json # scenario matrix derived from a suite manifest
 //
 // Run it from the repository root (or point -golden at the corpus).
 package main
@@ -64,14 +65,24 @@ func (tc *timingCollector) cols() (string, string) {
 
 func main() {
 	var (
-		goldenDir = flag.String("golden", "testdata/golden", "golden corpus directory")
-		update    = flag.Bool("update", false, "regenerate golden files instead of diffing")
-		short     = flag.Bool("short", false, "skip heavy scenarios (Table-1 circuits, experiment runners)")
-		filter    = flag.String("filter", "", "run only scenarios whose name contains this substring")
-		verbose   = flag.Bool("v", false, "print every out-of-tolerance field (default: first 8 per scenario)")
-		planCache = flag.String("plan-cache", "", "plan cache directory for pipeline scenarios (2nd invocation skips Prepare)")
+		goldenDir    = flag.String("golden", "testdata/golden", "golden corpus directory")
+		update       = flag.Bool("update", false, "regenerate golden files instead of diffing")
+		short        = flag.Bool("short", false, "skip heavy scenarios (Table-1 circuits, experiment runners)")
+		filter       = flag.String("filter", "", "run only scenarios whose name contains this substring")
+		verbose      = flag.Bool("v", false, "print every out-of-tolerance field (default: first 8 per scenario)")
+		planCache    = flag.String("plan-cache", "", "plan cache directory for pipeline scenarios (2nd invocation skips Prepare)")
+		manifestPath = flag.String("manifest", "", "derive the scenario matrix from a suite manifest (see manifest package) instead of the built-in matrix")
 	)
 	flag.Parse()
+
+	matrix := conformance.DefaultMatrix()
+	if *manifestPath != "" {
+		var err error
+		if matrix, err = manifestScenarios(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "effcheck:", err)
+			os.Exit(1)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -83,7 +94,7 @@ func main() {
 	// Tt/Tp are the paper's per-chip solver runtime components, summed over
 	// the scenario's fleet: alignment solves and statistical prediction.
 	fmt.Printf("%-45s %-8s %9s %9s  %s\n", "SCENARIO", "STATUS", "Tt(ms)", "Tp(ms)", "NOTE")
-	for _, sc := range conformance.DefaultMatrix() {
+	for _, sc := range matrix {
 		name := sc.Name()
 		if *filter != "" && !strings.Contains(name, *filter) {
 			continue
@@ -96,7 +107,8 @@ func main() {
 		sc.PlanCache = *planCache
 		tt, tp := "-", "-"
 		var tc *timingCollector
-		if sc.Kind == conformance.KindPipeline {
+		switch sc.Kind {
+		case conformance.KindPipeline, conformance.KindBinning, conformance.KindAging:
 			tc = &timingCollector{}
 			sc.Observer = tc
 		}
@@ -147,7 +159,7 @@ func runScenario(ctx context.Context, sc conformance.Scenario, goldenDir string,
 	var snap *conformance.Snapshot
 	var violations []string
 	var cacheNote string
-	if sc.Kind == conformance.KindPipeline {
+	if sc.Kind == conformance.KindPipeline || sc.Kind == conformance.KindBinning {
 		res, err := conformance.RunPipeline(ctx, sc)
 		if err != nil {
 			return nil, err.Error(), false

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+
+	"effitest"
+	"effitest/internal/conformance"
+	"effitest/manifest"
+	"effitest/workload"
+)
+
+// manifestScenarios derives a conformance scenario matrix from a suite
+// manifest: the same circuits × align × ε × seeds × workloads cross-product
+// the suite CLI executes, rendered as golden-diffable scenarios instead of
+// fleet campaigns. This lets a team pin exactly the scenario diversity its
+// manifests exercise: `effcheck -manifest suite.json -update` grows the
+// corpus, and the plain run keeps it honest.
+//
+// One structural difference from expansion: an aging-drift workload entry
+// becomes ONE KindAging scenario carrying the whole drift sweep (the curve
+// is a single golden), not one scenario per drift point.
+func manifestScenarios(path string) ([]conformance.Scenario, error) {
+	spec, err := manifest.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Sweep.Period != 0 {
+		return nil, fmt.Errorf("manifest %s: pinned sweep.period is not supported by -manifest; use period calibration", path)
+	}
+
+	aligns := spec.Sweep.Align
+	if len(aligns) == 0 {
+		aligns = []string{"heuristic"}
+	}
+	epses := spec.Sweep.Eps
+	if len(epses) == 0 {
+		epses = []float64{0}
+	}
+	seeds := spec.Sweep.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	quantile := spec.Sweep.Quantile
+	if quantile == 0 {
+		quantile = 0.8413
+	}
+	calib := spec.Sweep.CalibChips
+	if calib == 0 {
+		calib = 2000
+	}
+
+	var out []conformance.Scenario
+	for _, ce := range spec.Circuits {
+		base := conformance.Scenario{
+			GenSeed:    ce.GenSeed,
+			Chips:      spec.Chips.Count,
+			ChipSeed:   spec.Chips.Seed,
+			Quantile:   quantile,
+			CalibChips: calib,
+		}
+		switch {
+		case ce.Profile != "":
+			base.Circuit = ce.Profile
+		case ce.Custom != nil:
+			p := effitest.NewProfile(ce.Custom.Name, ce.Custom.FFs, ce.Custom.Gates, ce.Custom.Buffers, ce.Custom.Paths)
+			base.Custom = &p
+		default:
+			return nil, fmt.Errorf("manifest %s: inline netlist circuits are not supported by -manifest", path)
+		}
+		for _, al := range aligns {
+			align, err := parseAlign(al)
+			if err != nil {
+				return nil, fmt.Errorf("manifest %s: %w", path, err)
+			}
+			for _, eps := range epses {
+				if eps == 0 {
+					eps = effitest.DefaultConfig().Eps
+				}
+				for _, seed := range seeds {
+					for _, we := range spec.Workloads {
+						sc := base
+						sc.Align = align
+						sc.Eps = eps
+						sc.Seed = seed
+						switch workload.Canonical(we.Type) {
+						case workload.TypeEffiTest:
+							sc.Kind = conformance.KindPipeline
+						case workload.TypeClockBinning:
+							sc.Kind = conformance.KindBinning
+							sc.BinEdges = append([]float64(nil), we.BinEdges...)
+						case workload.TypeAgingDrift:
+							sc.Kind = conformance.KindAging
+							sc.Drifts = append([]float64(nil), we.Drifts...)
+						default:
+							return nil, fmt.Errorf("manifest %s: workload %q has no conformance kind", path, we.Type)
+						}
+						out = append(out, sc)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func parseAlign(name string) (effitest.AlignMode, error) {
+	switch name {
+	case "", "heuristic":
+		return effitest.AlignHeuristic, nil
+	case "fast-milp":
+		return effitest.AlignFastMILP, nil
+	case "paper-ilp":
+		return effitest.AlignPaperILP, nil
+	case "off":
+		return effitest.AlignOff, nil
+	}
+	return 0, fmt.Errorf("unknown align mode %q", name)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"effitest/internal/conformance"
+)
+
+func writeManifest(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "suite.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The committed smoke manifest maps onto one scenario per (circuit × sweep
+// point × workload), with the aging sweep collapsing to a single curve
+// scenario, and the derived names are stable golden stems.
+func TestManifestScenariosSmoke(t *testing.T) {
+	scs, err := manifestScenarios("../../examples/suites/smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 circuit × 1 align × 1 eps × 1 seed × 3 workloads.
+	if len(scs) != 3 {
+		t.Fatalf("derived %d scenarios, want 3: %+v", len(scs), scs)
+	}
+	wantNames := []string{
+		"pipeline_t16_heuristic_eps0.002_seed1",
+		"binning_t16_heuristic_eps0.002_seed1",
+		"aging_t16_heuristic_eps0.002_seed1",
+	}
+	for i, sc := range scs {
+		if sc.Name() != wantNames[i] {
+			t.Errorf("scenario %d named %q, want %q", i, sc.Name(), wantNames[i])
+		}
+		if sc.Chips != 16 || sc.ChipSeed != 11 {
+			t.Errorf("scenario %d chips %d seed %d, want 16/11", i, sc.Chips, sc.ChipSeed)
+		}
+	}
+	if len(scs[1].BinEdges) != 3 {
+		t.Errorf("binning scenario lost its edges: %+v", scs[1])
+	}
+	if len(scs[2].Drifts) != 3 {
+		t.Errorf("aging scenario lost its drift sweep: %+v", scs[2])
+	}
+}
+
+// Sweep defaults collapse to the paper point, and ε 0 resolves to the
+// engine's default threshold instead of leaking a zero into the flow.
+func TestManifestScenariosDefaults(t *testing.T) {
+	path := writeManifest(t, `{
+		"format": 1,
+		"name": "min",
+		"circuits": [{"profile": "s9234"}],
+		"workloads": [{"type": "effitest"}],
+		"chips": {"seed": 5, "count": 8},
+		"execution": {}
+	}`)
+	scs, err := manifestScenarios(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("derived %d scenarios, want 1", len(scs))
+	}
+	sc := scs[0]
+	if sc.Kind != conformance.KindPipeline || sc.Circuit != "s9234" {
+		t.Fatalf("wrong scenario: %+v", sc)
+	}
+	if sc.Eps == 0 {
+		t.Fatal("eps 0 leaked through instead of resolving to the paper default")
+	}
+	if sc.Quantile != 0.8413 || sc.CalibChips != 2000 {
+		t.Fatalf("calibration defaults wrong: q=%v calib=%d", sc.Quantile, sc.CalibChips)
+	}
+}
+
+func TestManifestScenariosRejects(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"netlist circuit", `{
+			"format": 1, "name": "x",
+			"circuits": [{"netlist": "ff a\nff b\npath a b 1 2\nend"}],
+			"workloads": [{"type": "effitest"}],
+			"chips": {"seed": 1, "count": 2}, "execution": {}
+		}`},
+		{"pinned period", `{
+			"format": 1, "name": "x",
+			"circuits": [{"profile": "s9234"}],
+			"sweep": {"period": 1.5},
+			"workloads": [{"type": "effitest"}],
+			"chips": {"seed": 1, "count": 2}, "execution": {}
+		}`},
+		{"invalid manifest", `{"format": 1}`},
+	}
+	for _, c := range cases {
+		if _, err := manifestScenarios(writeManifest(t, c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

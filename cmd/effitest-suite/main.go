@@ -1,0 +1,100 @@
+// Command effitest-suite executes a declarative campaign manifest: a
+// versioned JSON document describing circuits × config sweeps × workloads
+// (effitest, clock-binning, aging-drift), expanded deterministically into
+// concrete campaigns and executed in-process, against one effitestd daemon,
+// or sharded across a fleet — emitting one canonical suite report whose
+// bytes are identical across all three targets.
+//
+// Usage:
+//
+//	effitest-suite -manifest suite.json                    # run locally
+//	effitest-suite -manifest suite.json -expand-only       # print campaign list
+//	effitest-suite -manifest suite.json -daemon http://host:8087
+//	effitest-suite -manifest suite.json -nodes http://n1:8087,http://n2:8087
+//	effitest-suite -manifest suite.json -out report.json
+//
+// The manifest's own execution block picks the default target; the flags
+// above override it. The report is canonical JSON (two-space indent,
+// trailing newline), so committed golden reports diff byte-exactly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"effitest/manifest"
+)
+
+func main() {
+	var (
+		manifestPath = flag.String("manifest", "", "suite manifest JSON file (required)")
+		expandOnly   = flag.Bool("expand-only", false, "print the expanded campaign list as canonical JSON and exit")
+		target       = flag.String("target", "", "execution target override: local|daemon|coord")
+		daemonURL    = flag.String("daemon", "", "effitestd base URL (implies -target daemon)")
+		nodes        = flag.String("nodes", "", "comma-separated effitestd base URLs (implies -target coord)")
+		workers      = flag.Int("workers", 0, "local worker pool size (0 = manifest setting, then all CPUs)")
+		outPath      = flag.String("out", "", "write the suite report to this path (default stdout)")
+		token        = flag.String("token", os.Getenv("EFFITESTD_AUTH_TOKEN"),
+			"bearer token for daemons running with auth enabled (default $EFFITESTD_AUTH_TOKEN)")
+	)
+	flag.Parse()
+
+	if *manifestPath == "" {
+		fatal(fmt.Errorf("-manifest is required"))
+	}
+	spec, err := manifest.Load(*manifestPath)
+	fatal(err)
+	camps, err := manifest.Expand(spec)
+	fatal(err)
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		fatal(err)
+		defer f.Close()
+		out = f
+	}
+
+	if *expandOnly {
+		fatal(writeCanonical(out, camps))
+		return
+	}
+
+	ex, err := resolveExecution(spec, *target, *daemonURL, splitNonEmpty(*nodes), *workers, *token)
+	fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := runSuite(ctx, spec, camps, ex, progress)
+	fatal(err)
+	fatal(writeCanonical(out, rep))
+}
+
+// progress narrates one finished campaign to stderr, keeping stdout pure
+// report bytes.
+func progress(done, total int, name string) {
+	fmt.Fprintf(os.Stderr, "effitest-suite: [%d/%d] %s\n", done, total, name)
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "effitest-suite:", err)
+		os.Exit(1)
+	}
+}

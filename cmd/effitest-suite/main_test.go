@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"effitest/fleet"
+	"effitest/fleet/httpapi"
+	"effitest/manifest"
+)
+
+const smokePath = "../../examples/suites/smoke.json"
+
+func loadSmoke(t *testing.T) (*manifest.SuiteSpec, []manifest.Campaign) {
+	t.Helper()
+	spec, err := manifest.Load(smokePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camps, err := manifest.Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, camps
+}
+
+// reportBytes runs the whole suite on the given execution target and
+// renders the report to its canonical bytes.
+func reportBytes(t *testing.T, ex execution) []byte {
+	t.Helper()
+	spec, camps := loadSmoke(t)
+	rep, err := runSuite(context.Background(), spec, camps, ex, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The expanded campaign list of the committed smoke manifest is pinned
+// byte-for-byte: expansion is a pure function of the manifest bytes.
+func TestExpandGolden(t *testing.T) {
+	_, camps := loadSmoke(t)
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, camps); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden/smoke-campaigns.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("expanded campaign list diverges from testdata/golden/smoke-campaigns.json\ngot:\n%s", buf.Bytes())
+	}
+}
+
+// The smoke suite's report is pinned byte-for-byte against the committed
+// golden, and is invariant under the worker-pool size: scheduling must
+// never leak into report bytes.
+func TestSuiteReportGoldenAndWorkerInvariance(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden/smoke-report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := reportBytes(t, execution{target: "local", workers: 1})
+	if !bytes.Equal(one, want) {
+		t.Fatalf("1-worker report diverges from testdata/golden/smoke-report.json\ngot:\n%s", one)
+	}
+	four := reportBytes(t, execution{target: "local", workers: 4})
+	if !bytes.Equal(four, one) {
+		t.Fatal("report bytes depend on the worker-pool size")
+	}
+}
+
+// Running the suite against a loopback effitestd (auth on) yields the
+// byte-identical report the in-process runner produces: the wire round-trip
+// loses nothing.
+func TestSuiteReportLocalVsDaemon(t *testing.T) {
+	local := reportBytes(t, execution{target: "local", workers: 2})
+
+	const token = "suite-test-token"
+	m, err := fleet.NewManager(fleet.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.New(m, httpapi.WithAuthToken(token)))
+	t.Cleanup(func() {
+		m.Shutdown(context.Background())
+		ts.Close()
+	})
+
+	remote := reportBytes(t, execution{target: "daemon", daemon: ts.URL, token: token})
+	if !bytes.Equal(remote, local) {
+		t.Fatalf("daemon report diverges from local report\nlocal:\n%s\ndaemon:\n%s", local, remote)
+	}
+}
+
+// Sharding the suite across a three-node fleet yields the byte-identical
+// report too — the acceptance bar for the manifest subsystem: histograms
+// and aging curves merge exactly, never approximately.
+func TestSuiteReportLocalVsFleet(t *testing.T) {
+	local := reportBytes(t, execution{target: "local", workers: 2})
+
+	var nodes []string
+	for i := 0; i < 3; i++ {
+		m, err := fleet.NewManager(fleet.WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(httpapi.New(m))
+		t.Cleanup(func() {
+			m.Shutdown(context.Background())
+			ts.Close()
+		})
+		nodes = append(nodes, ts.URL)
+	}
+
+	fleetRep := reportBytes(t, execution{target: "coord", nodes: nodes})
+	if !bytes.Equal(fleetRep, local) {
+		t.Fatalf("fleet report diverges from local report\nlocal:\n%s\nfleet:\n%s", local, fleetRep)
+	}
+}
+
+// resolveExecution layers flags over the manifest's execution block with
+// the documented precedence, and refuses targets it cannot reach.
+func TestResolveExecution(t *testing.T) {
+	spec, _ := loadSmoke(t)
+
+	ex, err := resolveExecution(spec, "", "", nil, 0, "")
+	if err != nil || ex.target != "local" || ex.workers != 2 {
+		t.Fatalf("manifest defaults not honored: %+v, err %v", ex, err)
+	}
+	ex, err = resolveExecution(spec, "", "http://d:1", nil, 3, "tok")
+	if err != nil || ex.target != "daemon" || ex.daemon != "http://d:1" || ex.workers != 3 {
+		t.Fatalf("-daemon did not imply daemon target: %+v, err %v", ex, err)
+	}
+	ex, err = resolveExecution(spec, "", "", []string{"http://n:1"}, 0, "")
+	if err != nil || ex.target != "coord" || len(ex.nodes) != 1 {
+		t.Fatalf("-nodes did not imply coord target: %+v, err %v", ex, err)
+	}
+	ex, err = resolveExecution(spec, "local", "http://d:1", nil, 0, "")
+	if err != nil || ex.target != "local" {
+		t.Fatalf("explicit -target did not win: %+v, err %v", ex, err)
+	}
+	if _, err := resolveExecution(spec, "daemon", "", nil, 0, ""); err == nil {
+		t.Fatal("daemon target without a URL accepted")
+	}
+	if _, err := resolveExecution(spec, "coord", "", nil, 0, ""); err == nil {
+		t.Fatal("coord target without nodes accepted")
+	}
+	if _, err := resolveExecution(spec, "warp", "", nil, 0, ""); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+
+	replay := *spec
+	replay.Backend = "replay"
+	if _, err := resolveExecution(&replay, "", "http://d:1", nil, 0, ""); err == nil {
+		t.Fatal("replay backend re-routed to a daemon accepted")
+	}
+	if _, err := resolveExecution(&replay, "", "", nil, 0, ""); err != nil {
+		t.Fatalf("replay backend refused locally: %v", err)
+	}
+}
+
+// The fault and replay backends are numerically transparent: the suite
+// report is byte-identical to the sim backend's for every campaign.
+func TestBackendsNumericallyTransparent(t *testing.T) {
+	sim := reportBytes(t, execution{target: "local", workers: 2})
+	spec, camps := loadSmoke(t)
+	for _, backend := range []string{"fault", "replay"} {
+		forced := make([]manifest.Campaign, len(camps))
+		copy(forced, camps)
+		for i := range forced {
+			forced[i].Backend = backend
+		}
+		rep, err := runSuite(context.Background(), spec, forced, execution{target: "local", workers: 2}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		for i := range rep.Campaigns {
+			rep.Campaigns[i].Backend = "sim"
+		}
+		var buf bytes.Buffer
+		if err := writeCanonical(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), sim) {
+			t.Fatalf("%s backend perturbs report bytes\nsim:\n%s\n%s:\n%s", backend, sim, backend, buf.Bytes())
+		}
+	}
+}

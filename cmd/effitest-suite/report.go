@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"effitest/fleet/httpapi"
+	"effitest/manifest"
+	"effitest/workload"
+)
+
+// Report is the suite report: one row per expanded campaign in expansion
+// order, plus the aging-drift yield curves derived from them. Every field
+// is deterministic and exact, and the execution target is deliberately NOT
+// recorded — a local run, a daemon run and a fleet run of the same manifest
+// must produce byte-identical reports, which is the cross-target
+// conformance check the CI suite-smoke job performs.
+type Report struct {
+	Format    int              `json:"format"`
+	Suite     string           `json:"suite"`
+	Campaigns []CampaignReport `json:"campaigns"`
+	// AgingCurves groups the aging-drift campaigns by sweep point and sorts
+	// each group's (drift, yield) samples by drift: yield-vs-drift curves
+	// ready to plot.
+	AgingCurves []AgingCurve `json:"aging_curves,omitempty"`
+}
+
+// CampaignReport is one campaign's outcome.
+type CampaignReport struct {
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	Backend  string `json:"backend"`
+	// Period is the campaign's test period Td in ns (calibrated or pinned).
+	Period float64 `json:"period"`
+	// Aggregate is the campaign's exact aggregate — for clock-binning
+	// campaigns it carries the period-bin histogram.
+	Aggregate httpapi.Aggregate `json:"aggregate"`
+}
+
+// AgingCurve is one yield-vs-drift curve.
+type AgingCurve struct {
+	// Group names the sweep point the curve was swept at: the campaign name
+	// minus its drift coordinate.
+	Group  string       `json:"group"`
+	Points []AgingPoint `json:"points"`
+}
+
+// AgingPoint is one sample of an aging curve.
+type AgingPoint struct {
+	Drift float64 `json:"drift"`
+	Yield float64 `json:"yield"`
+}
+
+// reportRow assembles one campaign's report row from its exact outcome.
+func reportRow(camp manifest.Campaign, period float64, agg httpapi.Aggregate) CampaignReport {
+	backend := camp.Backend
+	if backend == "" {
+		backend = "sim"
+	}
+	return CampaignReport{
+		Name:      camp.Request.Name,
+		Workload:  workload.Canonical(camp.Request.Workload),
+		Backend:   backend,
+		Period:    period,
+		Aggregate: agg,
+	}
+}
+
+// buildReport assembles the suite report from the per-campaign rows.
+func buildReport(s *manifest.SuiteSpec, rows []CampaignReport) *Report {
+	rep := &Report{Format: manifest.FormatVersion, Suite: s.Name, Campaigns: rows}
+
+	// Derive the aging curves: rows of the aging-drift workload, grouped by
+	// campaign name with the drift coordinate stripped, in first-appearance
+	// (= expansion) order, each curve sorted by drift.
+	groups := map[string]int{}
+	for _, row := range rows {
+		if row.Workload != workload.TypeAgingDrift {
+			continue
+		}
+		name, drift := splitDrift(row.Name)
+		i, ok := groups[name]
+		if !ok {
+			i = len(rep.AgingCurves)
+			groups[name] = i
+			rep.AgingCurves = append(rep.AgingCurves, AgingCurve{Group: name})
+		}
+		rep.AgingCurves[i].Points = append(rep.AgingCurves[i].Points, AgingPoint{
+			Drift: drift,
+			Yield: row.Aggregate.Yield,
+		})
+	}
+	for i := range rep.AgingCurves {
+		pts := rep.AgingCurves[i].Points
+		sort.Slice(pts, func(a, b int) bool { return pts[a].Drift < pts[b].Drift })
+	}
+	return rep
+}
+
+// splitDrift strips the ",drift=<d>" coordinate Expand renders into aging
+// campaign names, returning the group name and the parsed drift.
+func splitDrift(name string) (string, float64) {
+	i := strings.LastIndex(name, ",drift=")
+	if i < 0 {
+		return name, 0
+	}
+	d, err := strconv.ParseFloat(name[i+len(",drift="):], 64)
+	if err != nil {
+		return name, 0
+	}
+	return name[:i], d
+}
+
+// writeCanonical writes v as canonical report JSON: two-space indent and a
+// trailing newline — the same shape every canonical artifact in this repo
+// uses, so committed goldens diff byte-exactly.
+func writeCanonical(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -92,6 +92,7 @@ import (
 	"effitest/internal/tester"
 	"effitest/internal/variation"
 	"effitest/internal/yield"
+	"effitest/workload"
 )
 
 // Circuit model and benchmark generation.
@@ -462,3 +463,42 @@ func FormatFig7(rows []Fig7Row) string { return exp.FormatFig7(rows) }
 
 // FormatFig8 renders the Figure 8 series.
 func FormatFig8(rows []Fig8Row) string { return exp.FormatFig8(rows) }
+
+// Workload registry: the sister-paper campaign types that run over the
+// engine (package workload). A campaign's workload rides fleet specs and
+// the HTTP wire by name; WorkloadTypes lists the registered names and
+// CheckWorkload validates a (workload, bin edges, drift) triple the same
+// way every entry point — manifest validator, fleet manager, HTTP submit,
+// shard coordinator — does.
+var (
+	// WorkloadTypes returns the registered workload type names.
+	WorkloadTypes = workload.Types
+	// ValidWorkload reports whether a name is a registered workload type.
+	ValidWorkload = workload.Valid
+	// CheckWorkload validates workload parameters as they appear on a
+	// campaign spec.
+	CheckWorkload = workload.Check
+	// AchievedPeriod returns a chip's post-tuning achievable period under
+	// a configured buffer vector — the clock-binning classification
+	// quantity.
+	AchievedPeriod = workload.AchievedPeriod
+	// ApplyDrift returns a copy of a chip aged by a delay-drift factor
+	// (aging-drift campaigns).
+	ApplyDrift = workload.ApplyDrift
+)
+
+// Workload type names (see package workload).
+const (
+	WorkloadEffiTest     = workload.TypeEffiTest
+	WorkloadClockBinning = workload.TypeClockBinning
+	WorkloadAgingDrift   = workload.TypeAgingDrift
+)
+
+// BinAgg is the exactly-mergeable clock-binning histogram (package
+// workload): integer chip counts per period bin, Merge associative and
+// commutative like yield.Agg's.
+type BinAgg = workload.BinAgg
+
+// NewBinAgg returns an empty clock-binning histogram over ascending
+// period bin edges.
+var NewBinAgg = workload.NewBinAgg

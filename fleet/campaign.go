@@ -14,6 +14,7 @@ import (
 	"effitest/fleet/journal"
 	"effitest/internal/pool"
 	"effitest/internal/yield"
+	"effitest/workload"
 )
 
 // Sentinel errors of the campaign layer; match with errors.Is.
@@ -81,6 +82,19 @@ type CampaignSpec struct {
 	// a different range of the same seed; per-chip numbers are identical to
 	// a single campaign over the whole population.
 	ChipFirst int
+	// Workload selects the campaign type (package workload): "" or
+	// workload.TypeEffiTest for the standard tune-and-predict flow,
+	// TypeClockBinning or TypeAgingDrift for the sister-paper workloads.
+	Workload string
+	// BinEdges are the ascending period bin edges of a clock-binning
+	// campaign; the campaign then folds every chip's post-tuning achieved
+	// period into an exactly-mergeable per-bin histogram (Status.Bins).
+	BinEdges []float64
+	// Drift scales every chip's realized delays by (1+Drift) after
+	// sampling, modeling aged silicon (aging-drift campaigns). Applied
+	// identically on every shard, so sharded drift campaigns stay
+	// bit-identical to whole-population runs.
+	Drift float64
 	// Key is an optional client-chosen idempotency key. Submitting a spec
 	// whose Key matches a live or finished campaign returns that campaign
 	// instead of creating a duplicate — so a client that got a 5xx for a
@@ -103,6 +117,8 @@ type Status struct {
 	ID    string
 	Name  string
 	State State
+	// Workload is the campaign's canonical workload type name.
+	Workload string
 
 	// ChipsTotal is the population size (0 until the engine is resolved
 	// when the spec sampled by seed/count).
@@ -122,6 +138,10 @@ type Status struct {
 	Stats effitest.ProposedStats
 	// Period is the engine's calibrated test period (0 while queued).
 	Period float64
+	// Bins is the clock-binning histogram snapshot (clock-binning
+	// campaigns only, nil otherwise). Like Stats, it folds exactly: a
+	// sharded campaign's merged bins equal a sequential run's.
+	Bins *workload.BinAgg
 	// Err is the campaign-level failure (engine construction or sampling),
 	// nil for per-chip errors, which live in the result stream.
 	Err error
@@ -134,10 +154,11 @@ type Status struct {
 // Campaign is one submitted batch job. All methods are safe for concurrent
 // use.
 type Campaign struct {
-	id   string
-	name string
-	key  string // idempotency key ("" = none)
-	m    *Manager
+	id       string
+	name     string
+	key      string // idempotency key ("" = none)
+	workload string // canonical workload type name
+	m        *Manager
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -162,7 +183,8 @@ type Campaign struct {
 	results   []*effitest.ChipResult // fixed size once chips resolve; nil entries pending
 	completed int
 	agg       yield.Agg
-	failed    int // per-chip errors
+	bins      *workload.BinAgg // clock-binning histogram (nil otherwise)
+	failed    int              // per-chip errors
 	cancelled bool
 	// settleOnce releases this campaign's admission-control slot exactly
 	// once, on its first transition to a terminal state.
@@ -190,11 +212,13 @@ func (c *Campaign) Status() Status {
 		ID:          c.id,
 		Name:        c.name,
 		State:       c.state,
+		Workload:    c.workload,
 		ChipsTotal:  len(c.results),
 		ChipsDone:   c.completed,
 		ChipsPassed: c.agg.Passed,
 		ChipsFailed: c.failed,
 		Stats:       c.agg.Stats(),
+		Bins:        c.bins.Clone(),
 		Err:         c.err,
 		SubmittedAt: c.submitted,
 		StartedAt:   c.started,
@@ -366,6 +390,12 @@ func (c *Campaign) prepare(spec CampaignSpec) {
 			return
 		}
 	}
+	// Aging-drift campaigns age the population here — after deterministic
+	// sampling, before journal replay or dispatch. The transform is a pure
+	// per-chip function, so every shard of a sharded sweep ages its range
+	// identically and drifted campaigns keep the bit-identity guarantees
+	// of undrifted ones.
+	chips = workload.ApplyDriftAll(chips, spec.Drift)
 	c.mu.Lock()
 	if c.state.Terminal() {
 		c.mu.Unlock()
@@ -412,7 +442,7 @@ func (c *Campaign) applyReplayLocked() {
 		if res.Err != nil {
 			c.failed++
 		} else {
-			c.agg.Observe(res.Outcome)
+			c.observeLocked(res)
 		}
 		c.m.replayed.Add(1)
 	}
@@ -478,7 +508,7 @@ func (c *Campaign) deliver(res effitest.ChipResult) {
 	if res.Err != nil {
 		c.failed++
 	} else {
-		c.agg.Observe(res.Outcome)
+		c.observeLocked(&res)
 	}
 	settled := false
 	if c.completed == len(c.results) {
@@ -498,6 +528,23 @@ func (c *Campaign) deliver(res effitest.ChipResult) {
 	c.mu.Unlock()
 	if settled {
 		c.journalSettle()
+	}
+}
+
+// observeLocked folds one error-free chip result into the campaign's
+// streaming aggregates: the yield.Agg always, and for clock-binning
+// campaigns the period histogram, classified on the chip's post-tuning
+// achieved period. Both folds are exact integer sums, so execution order
+// and shard boundaries cannot change the totals. Called with c.mu held.
+func (c *Campaign) observeLocked(res *effitest.ChipResult) {
+	c.agg.Observe(res.Outcome)
+	if c.bins == nil {
+		return
+	}
+	if res.Outcome.Configured {
+		c.bins.Observe(workload.AchievedPeriod(c.chips[res.Index], res.Outcome.X))
+	} else {
+		c.bins.ObserveUnbinned()
 	}
 }
 
@@ -676,6 +723,9 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 	if spec.ChipFirst < 0 {
 		return nil, fmt.Errorf("fleet: campaign chip range start must be non-negative, got %d", spec.ChipFirst)
 	}
+	if err := workload.Check(spec.Workload, spec.BinEdges, spec.Drift); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 	// The journal's spec record is assembled outside m.mu (fingerprinting
 	// hashes the whole netlist); only the durable append serializes.
 	jspec, err := m.journalSpec(spec)
@@ -686,11 +736,15 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 	c := &Campaign{
 		name:      spec.Name,
 		key:       spec.Key,
+		workload:  workload.Canonical(spec.Workload),
 		m:         m,
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StateQueued,
 		submitted: time.Now(),
+	}
+	if c.workload == workload.TypeClockBinning {
+		c.bins = workload.NewBinAgg(spec.BinEdges)
 	}
 	c.cond = sync.NewCond(&c.mu)
 
@@ -798,6 +852,13 @@ type ManagerStats struct {
 	JournalOpenSegments int
 	JournalBytes        int64
 	JournalAppendErrors int64
+	// CampaignsByWorkload counts the campaign table by canonical workload
+	// type name (package workload); values sum to Campaigns.
+	CampaignsByWorkload map[string]int
+	// BinHistogramBins is the total period-bin cells held across live
+	// clock-binning campaigns — the memory footprint of the binning
+	// aggregates, surfaced so operators see runaway edge lists.
+	BinHistogramBins int
 }
 
 // Stats snapshots the manager's campaign and chip counters.
@@ -824,9 +885,14 @@ func (m *Manager) Stats() ManagerStats {
 		dispatched[i] = c.nextDispatch
 	}
 	m.mu.Unlock()
+	st.CampaignsByWorkload = make(map[string]int)
 	for i, c := range camps {
 		c.mu.Lock()
 		st.Campaigns++
+		st.CampaignsByWorkload[c.workload]++
+		if c.bins != nil {
+			st.BinHistogramBins += len(c.bins.Counts)
+		}
 		switch c.state {
 		case StateQueued:
 			st.CampaignsQueued++

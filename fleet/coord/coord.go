@@ -12,6 +12,7 @@ import (
 
 	"effitest/fleet/client"
 	"effitest/fleet/httpapi"
+	"effitest/workload"
 )
 
 // ErrNoHealthyNodes is returned (or recorded as a Run failure) when every
@@ -198,6 +199,15 @@ type Spec struct {
 	// the same Seed with a different sub-range, so per-chip numbers are
 	// bit-identical to one whole-range campaign.
 	Chips httpapi.ChipSpec
+	// Workload selects the campaign type (package workload): effitest
+	// (default), clock-binning or aging-drift. Every shard runs the same
+	// workload; binning histograms and drift transforms fold exactly, so
+	// the merged summary is bit-identical to a single-node campaign.
+	Workload string
+	// BinEdges are the period bin edges of a clock-binning campaign.
+	BinEdges []float64
+	// Drift is the aging-drift delay scale factor minus one.
+	Drift float64
 	// Plan, when non-nil, is a serialized plan artifact (effitest.EncodePlan)
 	// pre-pushed to every healthy node before sharding. Artifacts are
 	// content-addressed — the id is the SHA-256 of the bytes, which covers
@@ -218,6 +228,9 @@ func (co *Coordinator) Start(ctx context.Context, spec Spec) (*Run, error) {
 	}
 	if spec.Chips.First < 0 {
 		return nil, fmt.Errorf("coord: chip range start must be non-negative, got %d", spec.Chips.First)
+	}
+	if err := workload.Check(spec.Workload, spec.BinEdges, spec.Drift); err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
 	}
 
 	r := newRun(co, ctx, spec)

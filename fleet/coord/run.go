@@ -17,6 +17,7 @@ import (
 	"effitest/fleet/client"
 	"effitest/fleet/httpapi"
 	"effitest/internal/yield"
+	"effitest/workload"
 )
 
 // Assignment records one shard handed to one node: population positions
@@ -72,6 +73,7 @@ type Run struct {
 	accepted    int
 	running     int // live shard runners
 	aggs        []yield.Agg
+	bins        *workload.BinAgg // clock-binning histogram (nil otherwise)
 	retries     int
 	rebalanced  int
 	assignments []Assignment
@@ -93,6 +95,9 @@ func newRun(co *Coordinator, ctx context.Context, spec Spec) *Run {
 		cancel:    cancel,
 		results:   make([]*httpapi.ChipResult, spec.Chips.Count),
 		deadNodes: map[string]bool{},
+	}
+	if workload.Canonical(spec.Workload) == workload.TypeClockBinning {
+		r.bins = workload.NewBinAgg(spec.BinEdges)
 	}
 	r.cond = sync.NewCond(&r.mu)
 	return r
@@ -163,6 +168,17 @@ func (r *Run) accept(pos int, res httpapi.ChipResult, agg *yield.Agg) bool {
 		}
 		if res.Passed {
 			agg.Passed++
+		}
+		// Clock binning folds here, exactly once per position: the daemon
+		// computed the chip's achieved period from the same chip and the
+		// same configured vector the coordinator would have, so classifying
+		// the wire float64 reproduces the daemon-side histogram bit for bit.
+		if r.bins != nil {
+			if res.Configured {
+				r.bins.Observe(res.AchievedPeriod)
+			} else {
+				r.bins.ObserveUnbinned()
+			}
 		}
 	}
 	if r.accepted == r.total {
@@ -248,11 +264,14 @@ func (r *Run) runShard(n *node, pos, count int) {
 
 	ctx := r.ctx
 	req := httpapi.CampaignRequest{
-		Name:    fmt.Sprintf("%s[%d+%d)", r.spec.Name, r.base+pos, count),
-		Circuit: r.spec.Circuit,
-		Config:  r.spec.Config,
-		Chips:   httpapi.ChipSpec{Seed: r.spec.Chips.Seed, Count: count, First: r.base + pos},
-		PlanID:  r.planID,
+		Name:     fmt.Sprintf("%s[%d+%d)", r.spec.Name, r.base+pos, count),
+		Circuit:  r.spec.Circuit,
+		Config:   r.spec.Config,
+		Chips:    httpapi.ChipSpec{Seed: r.spec.Chips.Seed, Count: count, First: r.base + pos},
+		Workload: r.spec.Workload,
+		BinEdges: r.spec.BinEdges,
+		Drift:    r.spec.Drift,
+		PlanID:   r.planID,
 	}
 	req.Key = shardKey(req)
 	var st httpapi.CampaignStatus
@@ -542,6 +561,7 @@ func (r *Run) summaryLocked() Summary {
 		RebalancedChips: r.rebalanced,
 		Assignments:     slices.Clone(r.assignments),
 	}
+	sum.Aggregate.Bins, sum.Aggregate.Unbinned = httpapi.BinsWire(r.bins)
 	for url := range r.deadNodes {
 		sum.DeadNodes = append(sum.DeadNodes, url)
 	}

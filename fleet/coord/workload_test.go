@@ -1,0 +1,184 @@
+package coord_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"effitest/fleet/client"
+	"effitest/fleet/coord"
+	"effitest/fleet/httpapi"
+	"effitest/workload"
+)
+
+// runSingleNode runs one whole-population campaign on a lone daemon and
+// returns its served aggregate — the reference every fleet-sharded run of
+// the same spec must reproduce bit-for-bit.
+func runSingleNode(t *testing.T, spec coord.Spec) httpapi.Aggregate {
+	t.Helper()
+	ctx := context.Background()
+	nodes := startNodes(t, 1, nil)
+	cl := client.New(nodes[0].ts.URL, client.WithHTTPClient(nodes[0].ts.Client()), client.WithToken(coordToken))
+	st, err := cl.Submit(ctx, httpapi.CampaignRequest{
+		Name:     spec.Name,
+		Circuit:  spec.Circuit,
+		Config:   spec.Config,
+		Chips:    spec.Chips,
+		Workload: spec.Workload,
+		BinEdges: spec.BinEdges,
+		Drift:    spec.Drift,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := cl.WaitSettled(ctx, st.ID); err != nil || fin.State != "done" {
+		t.Fatalf("single-node campaign did not settle done: %+v, err %v", fin, err)
+	}
+	agg, err := cl.Aggregate(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// binningSpec builds a clock-binning fleet spec whose edges actually split
+// the tiny64 population: the edges are quantiles of the achieved periods of
+// a probe run, not hardcoded magnitudes.
+func binningSpec(t *testing.T) coord.Spec {
+	t.Helper()
+	sc := tiny64Scenario(t)
+	spec := tiny64Spec(sc)
+
+	ctx := context.Background()
+	nodes := startNodes(t, 1, nil)
+	cl := client.New(nodes[0].ts.URL, client.WithHTTPClient(nodes[0].ts.Client()), client.WithToken(coordToken))
+	st, err := cl.Submit(ctx, httpapi.CampaignRequest{
+		Name: "probe", Circuit: spec.Circuit, Config: spec.Config, Chips: spec.Chips,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.WaitSettled(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Results(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var achieved []float64
+	for _, r := range res {
+		if r.Configured {
+			achieved = append(achieved, r.AchievedPeriod)
+		}
+	}
+	sort.Float64s(achieved)
+	if len(achieved) < 4 || achieved[0] == achieved[len(achieved)-1] {
+		t.Fatalf("probe population too degenerate to bin: %v", achieved)
+	}
+	lo, hi := achieved[len(achieved)/3], achieved[2*len(achieved)/3]
+	if lo == hi {
+		hi = achieved[len(achieved)-1]
+	}
+	spec.Name = "coord-binning"
+	spec.Workload = workload.TypeClockBinning
+	spec.BinEdges = []float64{lo, hi}
+	return spec
+}
+
+// A clock-binning campaign sharded over three daemons must merge into the
+// exact histogram a single daemon computes over the whole population: the
+// coordinator folds the wire's achieved periods, the daemon folds its local
+// chips, and both classify the identical float64s.
+func TestShardedBinningMatchesSingleNode(t *testing.T) {
+	spec := binningSpec(t)
+	ref := runSingleNode(t, spec)
+
+	nodes := startNodes(t, 3, nil)
+	co, err := coord.New(urlsOf(nodes), coord.WithClock(&instantClock{}), coord.WithAuthToken(coordToken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	run, err := co.Start(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectResults(t, run)
+	sum, err := run.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum.Aggregate, ref) {
+		t.Fatalf("sharded binning aggregate diverges:\nsharded:     %+v\nsingle-node: %+v", sum.Aggregate, ref)
+	}
+	if len(sum.Aggregate.Bins) != 2 {
+		t.Fatalf("merged histogram has %d bins, want 2", len(sum.Aggregate.Bins))
+	}
+	total := sum.Aggregate.Unbinned
+	mass := false
+	for _, b := range sum.Aggregate.Bins {
+		total += b.Count
+		if b.Count > 0 {
+			mass = true
+		}
+	}
+	if total != sum.Aggregate.Chips {
+		t.Fatalf("bins+unbinned = %d, chips = %d", total, sum.Aggregate.Chips)
+	}
+	if !mass {
+		t.Fatal("quantile-derived edges put every chip in unbinned — the split is vacuous")
+	}
+}
+
+// An aging-drift campaign sharded across the fleet applies the identical
+// per-chip transform on every node (drift is a pure function of the sampled
+// chip), so the merged aggregate equals the single-node run exactly.
+func TestShardedAgingDriftMatchesSingleNode(t *testing.T) {
+	sc := tiny64Scenario(t)
+	spec := tiny64Spec(sc)
+	spec.Name = "coord-aging"
+	spec.Workload = workload.TypeAgingDrift
+	spec.Drift = 0.25
+	ref := runSingleNode(t, spec)
+
+	nodes := startNodes(t, 3, nil)
+	co, err := coord.New(urlsOf(nodes), coord.WithClock(&instantClock{}), coord.WithAuthToken(coordToken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	run, err := co.Start(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectResults(t, run)
+	sum, err := run.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum.Aggregate, ref) {
+		t.Fatalf("sharded aging aggregate diverges:\nsharded:     %+v\nsingle-node: %+v", sum.Aggregate, ref)
+	}
+}
+
+// The coordinator refuses malformed workload specs before touching a node.
+func TestCoordWorkloadValidation(t *testing.T) {
+	sc := tiny64Scenario(t)
+	co, err := coord.New([]string{"http://127.0.0.1:1"}, coord.WithClock(&instantClock{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mutate := range []func(*coord.Spec){
+		func(s *coord.Spec) { s.Workload = "burn-in" },
+		func(s *coord.Spec) { s.Workload = workload.TypeClockBinning },
+		func(s *coord.Spec) { s.BinEdges = []float64{1, 2} },
+		func(s *coord.Spec) { s.Drift = 0.1 },
+	} {
+		spec := tiny64Spec(sc)
+		mutate(&spec)
+		if _, err := co.Start(context.Background(), spec); err == nil {
+			t.Errorf("bad workload spec %d accepted", i)
+		}
+	}
+}

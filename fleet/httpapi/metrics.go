@@ -205,6 +205,16 @@ func (mx *Metrics) render(w io.Writer, ms fleet.ManagerStats, rs fleet.RegistryS
 	} {
 		fmt.Fprintf(w, "effitestd_campaigns{state=%q} %d\n", s.state, s.n)
 	}
+	head(w, "effitestd_campaigns_by_workload", "gauge", "Campaigns in the manager table, by workload type.")
+	workloads := make([]string, 0, len(ms.CampaignsByWorkload))
+	for wl := range ms.CampaignsByWorkload {
+		workloads = append(workloads, wl)
+	}
+	sort.Strings(workloads)
+	for _, wl := range workloads {
+		fmt.Fprintf(w, "effitestd_campaigns_by_workload{workload=%q} %d\n", wl, ms.CampaignsByWorkload[wl])
+	}
+	gauge(w, "effitestd_bin_histogram_bins", "Period-bin cells held across clock-binning campaigns.", int64(ms.BinHistogramBins))
 	gauge(w, "effitestd_campaign_queue_limit", "Admission bound on non-terminal campaigns (0 = unbounded).", int64(ms.QueueLimit))
 	counter(w, "effitestd_campaigns_rejected_total", "Campaign submissions refused by admission control since start.", ms.CampaignsRejected)
 	gauge(w, "effitestd_chips_pending", "Resolved chips not yet dispatched to the pool.", int64(ms.ChipsPending))

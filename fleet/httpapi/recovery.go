@@ -41,6 +41,9 @@ func SpecDecoder(plans *fleet.PlanStore) func([]byte) (fleet.CampaignSpec, error
 			ChipSeed:       req.Chips.Seed,
 			ChipCount:      req.Chips.Count,
 			ChipFirst:      req.Chips.First,
+			Workload:       req.Workload,
+			BinEdges:       req.BinEdges,
+			Drift:          req.Drift,
 			Key:            req.Key,
 			PlanID:         req.PlanID,
 			JournalPayload: payload,

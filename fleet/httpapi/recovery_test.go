@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"effitest"
 	"effitest/fleet"
 	"effitest/fleet/httpapi"
 	"effitest/fleet/journal"
@@ -102,7 +104,18 @@ func TestHTTPRecoveryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, err := fleet.NewManager(fleet.WithWorkers(2), fleet.WithJournal(j1))
+	// Gate chip completion on the test: the manager observer runs inline on
+	// the worker goroutines, so until release closes no chip can finish and
+	// the campaign cannot settle its journal segment. That makes the crash
+	// below deterministic — without the gate, a loaded machine can let the
+	// whole 3-chip campaign finish (and settle) before Close runs.
+	release := make(chan struct{})
+	gate := effitest.ObserverFunc(func(e effitest.Event) {
+		if _, ok := e.(effitest.ChipDoneEvent); ok {
+			<-release
+		}
+	})
+	m1, err := fleet.NewManager(fleet.WithWorkers(2), fleet.WithJournal(j1), fleet.WithManagerObserver(gate))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,12 +129,13 @@ func TestHTTPRecoveryRoundTrip(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	// The crash: from here on nothing else reaches the directory. The spec
-	// record was fsynced before the 202, so the campaign is recoverable no
-	// matter how far execution got.
+	// The crash: the settle record can no longer reach the directory. The
+	// spec record was fsynced before the 202, so the campaign is recoverable
+	// no matter how far execution got.
 	if err := j1.Close(); err != nil {
 		t.Fatal(err)
 	}
+	close(release)
 	// Let the doomed process finish anyway: its aggregate is the reference
 	// the recovered campaign must reproduce.
 	camp1, ok := m1.Campaign(st1.ID)
@@ -182,7 +196,7 @@ func TestHTTPRecoveryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gotAgg != refAgg {
+	if !reflect.DeepEqual(gotAgg, refAgg) {
 		t.Fatalf("recovered aggregate diverges:\nrecovered: %+v\nreference: %+v", gotAgg, refAgg)
 	}
 

@@ -194,6 +194,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		ChipSeed:       req.Chips.Seed,
 		ChipCount:      req.Chips.Count,
 		ChipFirst:      req.Chips.First,
+		Workload:       req.Workload,
+		BinEdges:       req.BinEdges,
+		Drift:          req.Drift,
 		Key:            req.Key,
 		PlanID:         req.PlanID,
 		JournalPayload: body,

@@ -30,6 +30,7 @@ import (
 
 	"effitest"
 	"effitest/fleet"
+	"effitest/workload"
 )
 
 // CampaignRequest submits one campaign.
@@ -42,6 +43,15 @@ type CampaignRequest struct {
 	Config ConfigSpec `json:"config"`
 	// Chips picks the deterministic chip population.
 	Chips ChipSpec `json:"chips"`
+	// Workload selects the campaign type (package workload): effitest
+	// (default), clock-binning or aging-drift.
+	Workload string `json:"workload,omitempty"`
+	// BinEdges are the ascending period bin edges of a clock-binning
+	// campaign, in ns; the aggregate then carries a per-bin chip histogram.
+	BinEdges []float64 `json:"bin_edges,omitempty"`
+	// Drift scales every sampled chip's realized delays by (1+Drift)
+	// before execution (aging-drift campaigns).
+	Drift float64 `json:"drift,omitempty"`
 	// PlanID references a previously uploaded plan artifact; the campaign's
 	// engine is then built from the artifact instead of running Prepare.
 	PlanID string `json:"plan_id,omitempty"`
@@ -177,6 +187,7 @@ type ChipSpec struct {
 type CampaignStatus struct {
 	ID           string     `json:"id"`
 	Name         string     `json:"name,omitempty"`
+	Workload     string     `json:"workload,omitempty"`
 	State        string     `json:"state"`
 	ChipsTotal   int        `json:"chips_total"`
 	ChipsDone    int        `json:"chips_done"`
@@ -201,6 +212,32 @@ type Aggregate struct {
 	AvgIterations  float64 `json:"avg_iterations"`
 	AvgScanBits    float64 `json:"avg_scan_bits"`
 	ConfiguredFrac float64 `json:"configured_frac"`
+	// Bins is the clock-binning histogram (clock-binning campaigns only):
+	// one chip count per period bin edge, ascending, exact integers merged
+	// bit-identically across shards. Unbinned counts chips slower than
+	// every edge or never configured.
+	Bins     []BinCount `json:"bins,omitempty"`
+	Unbinned int        `json:"unbinned,omitempty"`
+}
+
+// BinCount is one clock-binning histogram bucket on the wire.
+type BinCount struct {
+	// Edge is the bin's period upper bound in ns.
+	Edge float64 `json:"edge"`
+	// Count is the chips whose achieved period fell in this bin.
+	Count int `json:"count"`
+}
+
+// BinsWire converts a workload.BinAgg to its wire form.
+func BinsWire(b *workload.BinAgg) ([]BinCount, int) {
+	if b == nil {
+		return nil, 0
+	}
+	bins := make([]BinCount, len(b.Edges))
+	for i, e := range b.Edges {
+		bins[i] = BinCount{Edge: e, Count: b.Counts[i]}
+	}
+	return bins, b.Unbinned
 }
 
 // ChipResult is one per-chip result on the NDJSON stream. All fields are
@@ -217,6 +254,12 @@ type ChipResult struct {
 	Passed     bool      `json:"passed,omitempty"`
 	Xi         float64   `json:"xi,omitempty"`
 	X          []float64 `json:"x,omitempty"`
+	// AchievedPeriod is the chip's post-tuning achievable period under the
+	// configured buffer vector (configured chips only): the clock-binning
+	// classification quantity, computed daemon-side so remote consumers —
+	// the shard coordinator folding a fleet-wide histogram — bin on the
+	// identical float64 the local flow saw.
+	AchievedPeriod float64 `json:"achieved_period,omitempty"`
 	// BoundsLoSum / BoundsHiSum summarize the final per-path delay windows
 	// (the full arrays are large; the sums still pin every bit of drift).
 	BoundsLoSum float64 `json:"bounds_lo_sum,omitempty"`
@@ -320,6 +363,7 @@ func StatusWire(st fleet.Status) CampaignStatus {
 	ws := CampaignStatus{
 		ID:           st.ID,
 		Name:         st.Name,
+		Workload:     st.Workload,
 		State:        string(st.State),
 		ChipsTotal:   st.ChipsTotal,
 		ChipsDone:    st.ChipsDone,
@@ -348,6 +392,7 @@ func StatusWire(st fleet.Status) CampaignStatus {
 			AvgScanBits:    st.Stats.AvgScanBits,
 			ConfiguredFrac: st.Stats.ConfiguredFrac,
 		}
+		ws.Aggregate.Bins, ws.Aggregate.Unbinned = BinsWire(st.Bins)
 	}
 	return ws
 }
@@ -369,6 +414,9 @@ func ResultWire(r effitest.ChipResult) ChipResult {
 	w.Passed = out.Passed
 	w.Xi = out.Xi
 	w.X = out.X
+	if out.Configured && r.Chip != nil {
+		w.AchievedPeriod = workload.AchievedPeriod(r.Chip, out.X)
+	}
 	if out.Bounds != nil {
 		for i := range out.Bounds.Lo {
 			w.BoundsLoSum += out.Bounds.Lo[i]

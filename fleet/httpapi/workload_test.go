@@ -1,0 +1,277 @@
+package httpapi_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"effitest/fleet/client"
+	"effitest/fleet/httpapi"
+	"effitest/workload"
+)
+
+// binEdgesFrom derives a strictly-ascending two-edge ladder from observed
+// achieved periods, so the binning tests split a real population instead of
+// hardcoding period magnitudes.
+func binEdgesFrom(t *testing.T, achieved []float64) []float64 {
+	t.Helper()
+	vals := append([]float64(nil), achieved...)
+	sort.Float64s(vals)
+	if len(vals) < 3 || vals[0] == vals[len(vals)-1] {
+		t.Fatalf("population too degenerate to bin: %v", vals)
+	}
+	lo, hi := vals[len(vals)/3], vals[2*len(vals)/3]
+	if lo == hi {
+		hi = vals[len(vals)-1]
+	}
+	if lo == hi {
+		lo = vals[0]
+	}
+	edges := []float64{lo, hi}
+	if err := workload.ValidateEdges(edges); err != nil {
+		t.Fatalf("derived edges %v invalid: %v", edges, err)
+	}
+	return edges
+}
+
+// A clock-binning campaign serves the same per-chip stream as a plain
+// campaign plus a bin histogram in the aggregate, and the histogram is
+// exactly the classification of the served achieved periods — the contract
+// that lets any wire consumer (the shard coordinator above all) rebuild the
+// daemon's bins bit-identically.
+func TestClockBinningCampaignHTTP(t *testing.T) {
+	_, cl := newLoopback(t)
+	ctx := context.Background()
+	base := httpapi.CampaignRequest{
+		Name:    "binning-base",
+		Circuit: httpapi.CircuitSpec{Netlist: wire24Netlist(t)},
+		Config:  httpapi.ConfigSpec{Quantile: 0.8413, CalibChips: 100},
+		Chips:   httpapi.ChipSpec{Seed: 9, Count: 12},
+	}
+	baseRes := runCampaign(t, cl, base)
+
+	var achieved []float64
+	for _, res := range baseRes {
+		if res.Configured {
+			if res.AchievedPeriod <= 0 {
+				t.Fatalf("configured chip %d served achieved_period %v", res.Index, res.AchievedPeriod)
+			}
+			achieved = append(achieved, res.AchievedPeriod)
+		} else if res.AchievedPeriod != 0 {
+			t.Fatalf("unconfigured chip %d served achieved_period %v", res.Index, res.AchievedPeriod)
+		}
+	}
+	edges := binEdgesFrom(t, achieved)
+
+	binned := base
+	binned.Name = "binning"
+	binned.Workload = workload.TypeClockBinning
+	binned.BinEdges = edges
+	binRes := runCampaign(t, cl, binned)
+
+	// The workload changes what is aggregated, never what is measured: the
+	// per-chip stream is bit-identical to the plain campaign's.
+	if !reflect.DeepEqual(binRes, baseRes) {
+		t.Fatal("clock-binning campaign's per-chip results diverge from the plain campaign")
+	}
+
+	st, err := cl.Status(ctx, submittedID(t, cl, binned.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workload != workload.TypeClockBinning {
+		t.Fatalf("status workload %q", st.Workload)
+	}
+	agg, err := cl.Aggregate(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the histogram client-side from the served stream; the daemon's
+	// aggregate must match exactly.
+	want := workload.NewBinAgg(edges)
+	for _, res := range binRes {
+		if res.Error != "" {
+			t.Fatalf("chip %d errored: %s", res.Index, res.Error)
+		}
+		if res.Configured {
+			want.Observe(res.AchievedPeriod)
+		} else {
+			want.ObserveUnbinned()
+		}
+	}
+	wantBins, wantUnbinned := httpapi.BinsWire(want)
+	if !reflect.DeepEqual(agg.Bins, wantBins) || agg.Unbinned != wantUnbinned {
+		t.Fatalf("served bins diverge:\nserved: %+v unbinned %d\nwant:   %+v unbinned %d",
+			agg.Bins, agg.Unbinned, wantBins, wantUnbinned)
+	}
+	total := agg.Unbinned
+	for _, b := range agg.Bins {
+		total += b.Count
+	}
+	if total != agg.Chips {
+		t.Fatalf("bins+unbinned = %d, aggregate chips = %d", total, agg.Chips)
+	}
+
+	// The plain campaign's aggregate carries no histogram.
+	baseAgg, err := cl.Aggregate(ctx, submittedID(t, cl, base.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseAgg.Bins) != 0 || baseAgg.Unbinned != 0 {
+		t.Fatalf("plain campaign grew bins: %+v", baseAgg)
+	}
+
+	// /metrics gained the per-workload gauges.
+	body := scrapeMetrics(t, cl.Base())
+	for _, want := range []string{
+		`effitestd_campaigns_by_workload{workload="clock-binning"} 1`,
+		`effitestd_campaigns_by_workload{workload="effitest"} 1`,
+		"effitestd_bin_histogram_bins 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// submittedID looks a campaign up by name in the daemon's table.
+func submittedID(t *testing.T, cl *client.Client, name string) string {
+	t.Helper()
+	sts, err := cl.Campaigns(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range sts {
+		if st.Name == name {
+			return st.ID
+		}
+	}
+	t.Fatalf("campaign %q not listed", name)
+	return ""
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// An aging-drift campaign at drift 0 is the identity transform: every
+// served byte — stream and aggregate — equals the plain campaign's. A real
+// drift reshapes the population (and therefore the achieved periods) while
+// keeping the campaign well-formed end to end.
+func TestAgingDriftCampaignHTTP(t *testing.T) {
+	_, cl := newLoopback(t)
+	ctx := context.Background()
+	base := httpapi.CampaignRequest{
+		Name:    "aging-base",
+		Circuit: httpapi.CircuitSpec{Netlist: wire24Netlist(t)},
+		Config:  httpapi.ConfigSpec{Quantile: 0.8413, CalibChips: 100},
+		Chips:   httpapi.ChipSpec{Seed: 9, Count: 10},
+	}
+	baseRes := runCampaign(t, cl, base)
+
+	zero := base
+	zero.Name = "aging-zero"
+	zero.Workload = workload.TypeAgingDrift
+	zeroRes := runCampaign(t, cl, zero)
+	if !reflect.DeepEqual(zeroRes, baseRes) {
+		t.Fatal("aging-drift at drift 0 diverges from the plain campaign")
+	}
+	zeroAgg, err := cl.Aggregate(ctx, submittedID(t, cl, zero.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAgg, err := cl.Aggregate(ctx, submittedID(t, cl, base.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zeroAgg, baseAgg) {
+		t.Fatalf("drift-0 aggregate diverges:\naging: %+v\nplain: %+v", zeroAgg, baseAgg)
+	}
+
+	aged := base
+	aged.Name = "aging-40"
+	aged.Workload = workload.TypeAgingDrift
+	aged.Drift = 0.4
+	agedRes := runCampaign(t, cl, aged)
+	st, err := cl.Status(ctx, submittedID(t, cl, aged.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workload != workload.TypeAgingDrift {
+		t.Fatalf("status workload %q", st.Workload)
+	}
+	if len(agedRes) != len(baseRes) {
+		t.Fatalf("drifted campaign returned %d chips, want %d", len(agedRes), len(baseRes))
+	}
+	moved := false
+	for i := range agedRes {
+		if agedRes[i].AchievedPeriod != baseRes[i].AchievedPeriod {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("40% delay drift left every achieved period untouched")
+	}
+
+	// Determinism: resubmitting the drifted campaign reproduces it exactly.
+	again := aged
+	again.Name = "aging-40-again"
+	if !reflect.DeepEqual(runCampaign(t, cl, again), agedRes) {
+		t.Fatal("drifted campaign is not reproducible")
+	}
+}
+
+// Malformed workload specs are refused at submit, not discovered mid-run.
+func TestWorkloadSubmitValidationHTTP(t *testing.T) {
+	_, cl := newLoopback(t)
+	ctx := context.Background()
+	base := httpapi.CampaignRequest{
+		Circuit: httpapi.CircuitSpec{Netlist: wire24Netlist(t)},
+		Config:  httpapi.ConfigSpec{Quantile: 0.8413, CalibChips: 100},
+		Chips:   httpapi.ChipSpec{Seed: 9, Count: 2},
+	}
+	bad := []func(r *httpapi.CampaignRequest){
+		func(r *httpapi.CampaignRequest) { r.Workload = "burn-in" },
+		func(r *httpapi.CampaignRequest) { r.Workload = workload.TypeClockBinning },
+		func(r *httpapi.CampaignRequest) {
+			r.Workload = workload.TypeClockBinning
+			r.BinEdges = []float64{2, 1}
+		},
+		func(r *httpapi.CampaignRequest) { r.BinEdges = []float64{1, 2} },
+		func(r *httpapi.CampaignRequest) { r.Drift = 0.1 },
+		func(r *httpapi.CampaignRequest) {
+			r.Workload = workload.TypeAgingDrift
+			r.Drift = -0.9
+		},
+	}
+	for i, mutate := range bad {
+		req := base
+		mutate(&req)
+		if _, err := cl.Submit(ctx, req); err == nil {
+			t.Errorf("bad workload spec %d accepted: %+v", i, req)
+		}
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Campaigns != 0 {
+		t.Fatalf("refused submissions left campaigns behind: %+v", st)
+	}
+}

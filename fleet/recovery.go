@@ -9,6 +9,7 @@ import (
 
 	"effitest"
 	"effitest/fleet/journal"
+	"effitest/workload"
 )
 
 // WithJournal attaches a durable campaign journal: Submit appends each
@@ -124,6 +125,10 @@ func (m *Manager) Recover(decode func([]byte) (CampaignSpec, error)) (RecoverSta
 			submitted: time.Now(),
 			journaled: true,
 			replay:    rec.Chips,
+		}
+		c.workload = workload.Canonical(spec.Workload)
+		if c.workload == workload.TypeClockBinning {
+			c.bins = workload.NewBinAgg(spec.BinEdges)
 		}
 		c.cond = sync.NewCond(&c.mu)
 

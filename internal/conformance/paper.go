@@ -40,6 +40,35 @@ func (b BandCheck) String() string {
 func PaperBands(s *Snapshot) []BandCheck {
 	circ := s.Scenario.Circuit
 	switch {
+	case s.Binning != nil:
+		// Clock binning is exact bookkeeping over the pipeline: the one
+		// paper-level fact to pin is mass conservation — every chip lands in
+		// exactly one bin or the unbinned bucket.
+		mass := s.Binning.Unbinned
+		for _, c := range s.Binning.Counts {
+			mass += c
+		}
+		return []BandCheck{
+			{Metric: "binning.mass(chips)", Measured: float64(mass), Paper: float64(s.Scenario.Chips), Band: 0},
+		}
+	case s.Aging != nil:
+		// Aged silicon is slower silicon: at a fixed test period, drifting
+		// every delay up must never raise yield. A small band absorbs
+		// hold-limited edge cases on tiny sweep populations.
+		if len(s.Aging.Points) < 2 {
+			return nil
+		}
+		first, last := s.Aging.Points[0], s.Aging.Points[len(s.Aging.Points)-1]
+		checks := []BandCheck{
+			// In-band check that the curve stays a probability.
+			{Metric: "aging.yield(dmax)", Measured: last.Yield, Paper: 0.5, Band: 0.5},
+		}
+		if last.Yield > first.Yield+0.07 {
+			// Emitted as an always-fail row (negative band), mirroring the
+			// fig8 ordering checks.
+			checks = append(checks, BandCheck{Metric: "aging.yield!increasing", Measured: last.Yield, Paper: first.Yield, Band: -1})
+		}
+		return checks
 	case s.Table1 != nil:
 		p, ok := exp.PaperTable1[circ]
 		if !ok {

@@ -10,6 +10,7 @@ import (
 	"effitest/internal/core"
 	"effitest/internal/exp"
 	"effitest/internal/tester"
+	"effitest/workload"
 )
 
 // PipelineResult is the full output of a pipeline scenario: the snapshot
@@ -48,12 +49,15 @@ func (s Scenario) meta() Meta {
 
 // Run executes the scenario and returns its canonical snapshot.
 func Run(ctx context.Context, sc Scenario) (*Snapshot, error) {
-	if sc.Kind == KindPipeline {
+	switch sc.Kind {
+	case KindPipeline, KindBinning:
 		res, err := RunPipeline(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
 		return res.Snap, nil
+	case KindAging:
+		return runAging(ctx, sc)
 	}
 	return runExp(ctx, sc)
 }
@@ -62,7 +66,7 @@ func Run(ctx context.Context, sc Scenario) (*Snapshot, error) {
 // circuit, prepare the engine (offline flow + period calibration), run the
 // chip fleet through Engine.RunChips, and aggregate.
 func RunPipeline(ctx context.Context, sc Scenario) (*PipelineResult, error) {
-	if sc.Kind != KindPipeline {
+	if sc.Kind != KindPipeline && sc.Kind != KindBinning {
 		return nil, fmt.Errorf("conformance: scenario %s is not a pipeline scenario", sc.Name())
 	}
 	p, err := sc.Profile()
@@ -93,6 +97,12 @@ func RunPipeline(ctx context.Context, sc Scenario) (*PipelineResult, error) {
 	chips, err := eng.SampleChips(ctx, sc.ChipSeed, sc.Chips)
 	if err != nil {
 		return nil, err
+	}
+	if sc.Drift != 0 {
+		// Aging: scale every sampled chip's realized delays by (1+drift)
+		// after sampling, exactly as the fleet layer does, so conformance
+		// and campaign numbers agree.
+		chips = workload.ApplyDriftAll(chips, sc.Drift)
 	}
 	outs := make([]*core.ChipOutcome, 0, len(chips))
 	for r := range eng.RunChips(ctx, chips) {
@@ -148,13 +158,62 @@ func RunPipeline(ctx context.Context, sc Scenario) (*PipelineResult, error) {
 		ps.AvgScanBits = float64(sumScan) / n
 		ps.ConfiguredFrac = float64(configured) / n
 	}
+	snap := &Snapshot{Format: SnapshotFormat, Scenario: sc.meta(), Pipeline: ps}
+	if sc.Kind == KindBinning {
+		snap.Binning = binningSnap(sc.BinEdges, chips, outs)
+	}
 	return &PipelineResult{
 		Circuit: c,
 		Engine:  eng,
 		Chips:   chips,
 		Outs:    outs,
-		Snap:    &Snapshot{Format: SnapshotFormat, Scenario: sc.meta(), Pipeline: ps},
+		Snap:    snap,
 	}, nil
+}
+
+// binningSnap classifies every chip of a finished run into the period bins:
+// configured chips by their post-tuning achievable period, unconfigured
+// chips as unbinned — the same fold the fleet layer aggregates on the wire.
+func binningSnap(edges []float64, chips []*tester.Chip, outs []*core.ChipOutcome) *BinningSnap {
+	agg := workload.NewBinAgg(edges)
+	for i, out := range outs {
+		if out.Configured {
+			agg.Observe(workload.AchievedPeriod(chips[i], out.X))
+		} else {
+			agg.ObserveUnbinned()
+		}
+	}
+	return &BinningSnap{
+		Edges:    append([]float64(nil), edges...),
+		Counts:   append([]int(nil), agg.Counts...),
+		Unbinned: agg.Unbinned,
+	}
+}
+
+// runAging sweeps the drift axis: one pipeline run per drift point over the
+// same sampled population, snapshotting the yield-vs-drift curve.
+func runAging(ctx context.Context, sc Scenario) (*Snapshot, error) {
+	if sc.Kind != KindAging {
+		return nil, fmt.Errorf("conformance: scenario %s is not an aging scenario", sc.Name())
+	}
+	snap := &Snapshot{Format: SnapshotFormat, Scenario: sc.meta(), Aging: &AgingSnap{}}
+	for _, d := range sc.Drifts {
+		point := sc
+		point.Kind = KindPipeline
+		point.Drift = d
+		res, err := RunPipeline(ctx, point)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: %s: drift %g: %w", sc.Name(), d, err)
+		}
+		ps := res.Snap.Pipeline
+		snap.Aging.Points = append(snap.Aging.Points, AgingPointSnap{
+			Drift:          d,
+			Yield:          ps.Yield,
+			ConfiguredFrac: ps.ConfiguredFrac,
+			AvgIterations:  ps.AvgIterations,
+		})
+	}
+	return snap, nil
 }
 
 // ReducedExpConfig is the experiment-harness configuration used by the

@@ -21,6 +21,8 @@ type Snapshot struct {
 	Format   int           `json:"format"`
 	Scenario Meta          `json:"scenario"`
 	Pipeline *PipelineSnap `json:"pipeline,omitempty"`
+	Binning  *BinningSnap  `json:"binning,omitempty"`
+	Aging    *AgingSnap    `json:"aging,omitempty"`
 	Table1   *Table1Snap   `json:"table1,omitempty"`
 	Table2   *Table2Snap   `json:"table2,omitempty"`
 	Fig7     *Fig7Snap     `json:"fig7,omitempty"`
@@ -71,6 +73,28 @@ type ChipSnap struct {
 	XAbsSum    float64 `json:"xAbsSum"`
 	BoundsLo   float64 `json:"boundsLoSum"`
 	BoundsHi   float64 `json:"boundsHiSum"`
+}
+
+// BinningSnap pins the clock-binning histogram of a KindBinning scenario:
+// exact integer chip counts per period bin, plus the unbinned bucket.
+type BinningSnap struct {
+	Edges    []float64 `json:"edges"`
+	Counts   []int     `json:"counts"`
+	Unbinned int       `json:"unbinned"`
+}
+
+// AgingSnap pins the yield-vs-drift curve of a KindAging scenario, one
+// point per swept drift value.
+type AgingSnap struct {
+	Points []AgingPointSnap `json:"points"`
+}
+
+// AgingPointSnap is one aging sweep point.
+type AgingPointSnap struct {
+	Drift          float64 `json:"drift"`
+	Yield          float64 `json:"yield"`
+	ConfiguredFrac float64 `json:"configuredFrac"`
+	AvgIterations  float64 `json:"avgIterations"`
 }
 
 // Table1Snap mirrors the deterministic columns of exp.Table1Row (the
@@ -243,6 +267,8 @@ func Diff(got, want *Snapshot) []FieldDiff {
 		return d.diffs
 	}
 	diffSection(&d, "pipeline", got.Pipeline, want.Pipeline, diffPipeline)
+	diffSection(&d, "binning", got.Binning, want.Binning, diffBinning)
+	diffSection(&d, "aging", got.Aging, want.Aging, diffAging)
 	diffSection(&d, "table1", got.Table1, want.Table1, diffTable1)
 	diffSection(&d, "table2", got.Table2, want.Table2, diffTable2)
 	diffSection(&d, "fig7", got.Fig7, want.Fig7, diffFig7)
@@ -289,6 +315,41 @@ func diffPipeline(d *differ, got, want *PipelineSnap) {
 		d.floats(pre+"xAbsSum", g.XAbsSum, w.XAbsSum, TolSum)
 		d.floats(pre+"boundsLoSum", g.BoundsLo, w.BoundsLo, TolSum)
 		d.floats(pre+"boundsHiSum", g.BoundsHi, w.BoundsHi, TolSum)
+	}
+}
+
+func diffBinning(d *differ, got, want *BinningSnap) {
+	// The histogram is integer counts over scenario-input edges: everything
+	// here is exact — any change is a behavioural change.
+	if len(got.Edges) != len(want.Edges) {
+		d.ints("binning.edges.len", int64(len(got.Edges)), int64(len(want.Edges)))
+		return
+	}
+	for i := range got.Edges {
+		d.floats(fmt.Sprintf("binning.edges[%d]", i), got.Edges[i], want.Edges[i], TolExact)
+	}
+	if len(got.Counts) != len(want.Counts) {
+		d.ints("binning.counts.len", int64(len(got.Counts)), int64(len(want.Counts)))
+		return
+	}
+	for i := range got.Counts {
+		d.ints(fmt.Sprintf("binning.counts[%d]", i), int64(got.Counts[i]), int64(want.Counts[i]))
+	}
+	d.ints("binning.unbinned", int64(got.Unbinned), int64(want.Unbinned))
+}
+
+func diffAging(d *differ, got, want *AgingSnap) {
+	if len(got.Points) != len(want.Points) {
+		d.ints("aging.points.len", int64(len(got.Points)), int64(len(want.Points)))
+		return
+	}
+	for i := range got.Points {
+		g, w := &got.Points[i], &want.Points[i]
+		pre := fmt.Sprintf("aging.points[%d].", i)
+		d.floats(pre+"drift", g.Drift, w.Drift, TolExact)
+		d.floats(pre+"yield", g.Yield, w.Yield, TolFloat)
+		d.floats(pre+"configuredFrac", g.ConfiguredFrac, w.ConfiguredFrac, TolFloat)
+		d.floats(pre+"avgIterations", g.AvgIterations, w.AvgIterations, TolFloat)
 	}
 }
 

@@ -1,0 +1,106 @@
+package manifest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"effitest/fleet/httpapi"
+	"effitest/workload"
+)
+
+// Expand renders the manifest into its ordered list of concrete campaigns.
+// The expansion is a pure function of the spec: fixed nested-loop order
+// (circuits × align × eps × seeds × workloads × drift points), campaign
+// names rendered with deterministic float formatting, no clocks or
+// randomness — so the same manifest always yields the byte-identical list,
+// which the suite-report goldens and the fleet idempotency keys rely on.
+func Expand(s *SuiteSpec) ([]Campaign, error) {
+	if err := Validate(s); err != nil {
+		return nil, err
+	}
+	aligns := s.Sweep.Align
+	if len(aligns) == 0 {
+		aligns = []string{"heuristic"}
+	}
+	epss := s.Sweep.Eps
+	if len(epss) == 0 {
+		epss = []float64{0}
+	}
+	seeds := s.Sweep.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+
+	var out []Campaign
+	for _, ce := range s.Circuits {
+		for _, align := range aligns {
+			for _, eps := range epss {
+				for _, seed := range seeds {
+					for _, w := range s.Workloads {
+						canon := workload.Canonical(w.Type)
+						drifts := []float64{0}
+						if canon == workload.TypeAgingDrift {
+							drifts = w.Drifts
+						}
+						for _, d := range drifts {
+							out = append(out, s.render(ce, align, eps, seed, canon, w.BinEdges, d))
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(out) > MaxCampaigns {
+		// Unreachable after Validate, but Expand guards its own output.
+		return nil, &Error{Msg: fmt.Sprintf("manifest expands to %d campaigns, limit %d", len(out), MaxCampaigns)}
+	}
+	return out, nil
+}
+
+// render builds one concrete campaign at a point of the sweep lattice.
+func (s *SuiteSpec) render(ce CircuitEntry, align string, eps float64, seed int64, canon string, edges []float64, drift float64) Campaign {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s/%s/align=%s,eps=%s,seed=%d",
+		s.Name, ce.label(), canon, strings.ToLower(align), ftoa(eps), seed)
+	if canon == workload.TypeAgingDrift {
+		fmt.Fprintf(&b, ",drift=%s", ftoa(drift))
+	}
+	req := httpapi.CampaignRequest{
+		Name: b.String(),
+		Circuit: httpapi.CircuitSpec{
+			Profile: ce.Profile,
+			Custom:  ce.Custom,
+			Netlist: ce.Netlist,
+			GenSeed: ce.GenSeed,
+		},
+		Config: httpapi.ConfigSpec{
+			Align:      strings.ToLower(align),
+			Eps:        eps,
+			Seed:       seed,
+			MaxBatch:   s.Sweep.MaxBatch,
+			Period:     s.Sweep.Period,
+			Quantile:   s.Sweep.Quantile,
+			CalibChips: s.Sweep.CalibChips,
+		},
+		Chips: httpapi.ChipSpec{
+			Seed:  s.Chips.Seed,
+			Count: s.Chips.Count,
+		},
+		Workload: canon,
+	}
+	if canon == workload.TypeClockBinning {
+		req.BinEdges = append([]float64(nil), edges...)
+	}
+	if canon == workload.TypeAgingDrift {
+		req.Drift = drift
+	}
+	return Campaign{Request: req, Backend: strings.ToLower(s.Backend)}
+}
+
+// ftoa renders a float the shortest way that round-trips, the same
+// formatting encoding/json uses — campaign names stay stable across runs
+// and Go versions.
+func ftoa(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

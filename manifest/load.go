@@ -1,0 +1,90 @@
+package manifest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Error is one manifest problem, addressed by the JSON field path it was
+// found at (e.g. "circuits[0].profile"). An empty path means the document
+// as a whole.
+type Error struct {
+	Path string
+	Msg  string
+}
+
+// Error renders "path: msg".
+func (e *Error) Error() string {
+	if e.Path == "" {
+		return e.Msg
+	}
+	return e.Path + ": " + e.Msg
+}
+
+// ValidationError collects every problem Validate found, so a CLI shows
+// the operator the whole list instead of the first.
+type ValidationError struct {
+	Errs []*Error
+}
+
+// Error joins the findings, one per line.
+func (v *ValidationError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invalid manifest (%d problem(s)):", len(v.Errs))
+	for _, e := range v.Errs {
+		b.WriteString("\n  ")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Load reads, decodes and validates a manifest file.
+func Load(path string) (*SuiteSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Decode parses manifest bytes strictly — unknown fields and trailing
+// garbage are errors, not silent drops, so a typo'd axis name cannot
+// quietly run a different suite than the operator wrote — then validates
+// the result. Errors are typed (*Error / *ValidationError) and Decode
+// never panics on any input.
+func Decode(data []byte) (*SuiteSpec, error) {
+	var s SuiteSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, &Error{Msg: decodeMsg(err)}
+	}
+	// A manifest is one JSON document; trailing non-space bytes mean the
+	// file is not what it appears to be.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, &Error{Msg: "trailing data after manifest document"}
+	}
+	if err := Validate(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// decodeMsg maps encoding/json errors onto field-path messages where the
+// error carries one.
+func decodeMsg(err error) string {
+	var ute *json.UnmarshalTypeError
+	if errors.As(err, &ute) && ute.Field != "" {
+		return fmt.Sprintf("%s: cannot decode %s into %s", ute.Field, ute.Value, ute.Type)
+	}
+	return err.Error()
+}

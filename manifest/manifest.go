@@ -1,0 +1,168 @@
+// Package manifest is the declarative scenario layer of the fleet: a
+// versioned JSON format describing a *suite* — circuit sets × config sweeps
+// (ε, alignment mode, period policy, seeds) × backend selection × workload
+// type — and a loader → validator → expander pipeline that renders it into
+// a deterministic, ordered list of concrete campaign requests.
+//
+// The same expansion drives all three execution targets (in-process, one
+// effitestd, a fleet/coord shard fan-out), which is what makes suite
+// reports golden-diffable: the expanded list is a pure function of the
+// manifest bytes, campaign names are rendered deterministically, and every
+// number a campaign reports is already bit-identical across targets by the
+// fleet layer's own guarantees.
+//
+// Malformed manifests never panic: Decode rejects unknown fields and
+// trailing garbage, and Validate returns typed, field-path-addressed
+// errors ("circuits[0].profile: unknown profile ...") suitable for CLI
+// display. FuzzManifestDecode pins this.
+package manifest
+
+import (
+	"fmt"
+	"strings"
+
+	"effitest/fleet/httpapi"
+)
+
+// FormatVersion is the manifest format this package reads and writes.
+// Manifests must state their format explicitly so a future incompatible
+// revision can be detected instead of misread.
+const FormatVersion = 1
+
+// MaxCampaigns bounds one manifest's expansion. The axes multiply, and an
+// expansion too large to enumerate is almost certainly a manifest bug —
+// better a typed error than an OOM.
+const MaxCampaigns = 4096
+
+// SuiteSpec is the root of a suite manifest.
+type SuiteSpec struct {
+	// Format must equal FormatVersion.
+	Format int `json:"format"`
+	// Name labels the suite; it prefixes every expanded campaign name and
+	// heads the suite report.
+	Name string `json:"name"`
+	// Circuits lists the circuits under test; the sweep and workload axes
+	// apply to each.
+	Circuits []CircuitEntry `json:"circuits"`
+	// Sweep spans the flow-configuration axes. Omitted axes collapse to
+	// one paper-default point.
+	Sweep Sweep `json:"sweep"`
+	// Workloads lists the campaign types to run per configuration point.
+	Workloads []WorkloadEntry `json:"workloads"`
+	// Chips picks the deterministic chip population shared by every
+	// campaign in the suite.
+	Chips ChipsEntry `json:"chips"`
+	// Backend selects the measurement transport: "sim" (default), "fault"
+	// (the fault-injection wrapper in instrumentation mode) or "replay"
+	// (record once, then replay the trace). Non-sim backends exist only
+	// in-process, so they require local execution.
+	Backend string `json:"backend,omitempty"`
+	// Execution declares the suite's default execution target; the suite
+	// CLI's flags override it.
+	Execution Execution `json:"execution"`
+}
+
+// CircuitEntry names one circuit the same three ways the fleet wire format
+// does: a Table-1 benchmark profile, a custom synthetic profile, or an
+// inline netlist. Exactly one must be set.
+type CircuitEntry struct {
+	Profile string                 `json:"profile,omitempty"`
+	Custom  *httpapi.CustomProfile `json:"custom,omitempty"`
+	Netlist string                 `json:"netlist,omitempty"`
+	// GenSeed seeds the benchmark generator (profile and custom forms).
+	GenSeed int64 `json:"gen_seed,omitempty"`
+}
+
+// label renders the circuit's segment of a campaign name.
+func (ce CircuitEntry) label() string {
+	base := "netlist"
+	switch {
+	case ce.Profile != "":
+		base = ce.Profile
+	case ce.Custom != nil:
+		base = ce.Custom.Name
+	}
+	if ce.GenSeed != 0 {
+		return fmt.Sprintf("%s@g%d", base, ce.GenSeed)
+	}
+	return base
+}
+
+// Sweep spans the flow-configuration axes of a suite. The list axes cross-
+// multiply; the scalar fields apply to every point. Empty lists default to
+// a single paper-default point (align "heuristic", ε 0 meaning the paper
+// default, seed 1).
+type Sweep struct {
+	// Align lists §3.3 alignment modes: heuristic | fast-milp | paper-ilp
+	// | off.
+	Align []string `json:"align,omitempty"`
+	// Eps lists delay-range termination thresholds in ns (0 = paper
+	// default).
+	Eps []float64 `json:"eps,omitempty"`
+	// Seeds lists master random seeds.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Period pins the test period Td in ns; when 0 the period is
+	// calibrated as the Quantile-quantile over CalibChips chips
+	// (defaults: the paper's 0.8413 over 2000).
+	Period     float64 `json:"period,omitempty"`
+	Quantile   float64 `json:"quantile,omitempty"`
+	CalibChips int     `json:"calib_chips,omitempty"`
+	// MaxBatch caps test batch sizes (0 = unlimited).
+	MaxBatch int `json:"max_batch,omitempty"`
+}
+
+// WorkloadEntry selects one workload type and its parameters.
+type WorkloadEntry struct {
+	// Type is a workload type name (package workload): effitest |
+	// clock-binning | aging-drift.
+	Type string `json:"type"`
+	// BinEdges are the ascending period bin edges of a clock-binning
+	// workload, in ns.
+	BinEdges []float64 `json:"bin_edges,omitempty"`
+	// Drifts are the sweep points of an aging-drift workload; each value d
+	// scales every chip's realized delays by (1+d) and runs one campaign.
+	Drifts []float64 `json:"drifts,omitempty"`
+}
+
+// ChipsEntry picks the deterministic chip population.
+type ChipsEntry struct {
+	Seed  int64 `json:"seed"`
+	Count int   `json:"count"`
+}
+
+// Execution declares where a suite runs by default. The suite CLI's
+// -daemon / -nodes / -local flags take precedence.
+type Execution struct {
+	// Target is local | daemon | coord ("" = local).
+	Target string `json:"target,omitempty"`
+	// Daemon is the effitestd base URL for the daemon target.
+	Daemon string `json:"daemon,omitempty"`
+	// Nodes are the effitestd base URLs for the coord target.
+	Nodes []string `json:"nodes,omitempty"`
+	// Workers sizes the local worker pool (0 = all CPUs). Remote targets
+	// use the daemons' own pools.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Campaign is one expanded, concrete campaign: a ready-to-submit fleet
+// request plus the backend it must run on. Requests carry the workload
+// type, bin edges and drift on the wire, so the same expansion serves the
+// in-process runner, a single daemon and the shard coordinator.
+type Campaign struct {
+	Request httpapi.CampaignRequest `json:"request"`
+	// Backend is the manifest's transport selection: "sim" | "fault" |
+	// "replay" (empty = sim). Non-sim backends require local execution.
+	Backend string `json:"backend,omitempty"`
+}
+
+// Backends lists the valid backend selections.
+func Backends() []string { return []string{"sim", "fault", "replay"} }
+
+// validBackend reports whether name selects a known transport.
+func validBackend(name string) bool {
+	switch strings.ToLower(name) {
+	case "", "sim", "fault", "replay":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,260 @@
+package manifest
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// goodManifest is a three-workload suite touching every axis once.
+const goodManifest = `{
+	"format": 1,
+	"name": "smoke",
+	"circuits": [
+		{"custom": {"name": "t16", "ffs": 16, "gates": 120, "buffers": 4, "paths": 24}, "gen_seed": 7},
+		{"profile": "s9234"}
+	],
+	"sweep": {
+		"align": ["heuristic"],
+		"eps": [0.002],
+		"seeds": [1, 2],
+		"quantile": 0.8413,
+		"calib_chips": 200
+	},
+	"workloads": [
+		{"type": "effitest"},
+		{"type": "clock-binning", "bin_edges": [1.0, 1.15, 1.3]},
+		{"type": "aging-drift", "drifts": [0, 0.05, 0.1]}
+	],
+	"chips": {"seed": 11, "count": 24},
+	"execution": {"target": "local", "workers": 2}
+}`
+
+func TestDecodeGood(t *testing.T) {
+	s, err := Decode([]byte(goodManifest))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if s.Name != "smoke" || len(s.Circuits) != 2 || len(s.Workloads) != 3 {
+		t.Fatalf("decoded wrong shape: %+v", s)
+	}
+	camps, err := Expand(s)
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	// 2 circuits x 1 align x 1 eps x 2 seeds x (1 + 1 + 3 drift points).
+	if len(camps) != 2*2*5 {
+		t.Fatalf("expanded %d campaigns, want %d", len(camps), 2*2*5)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name, doc, wantSub string
+	}{
+		{"unknown field", `{"format": 1, "nam": "x"}`, "nam"},
+		{"trailing data", goodManifest + `{"again": true}`, "trailing data"},
+		{"wrong type", `{"format": 1, "name": "x", "chips": {"seed": "eleven"}}`, "chips.seed"},
+		{"not json", `format: 1`, "invalid character"},
+		{"empty", ``, "EOF"},
+	}
+	for _, c := range cases {
+		_, err := Decode([]byte(c.doc))
+		if err == nil {
+			t.Errorf("%s: decoded without error", c.name)
+			continue
+		}
+		var me *Error
+		var ve *ValidationError
+		if !errors.As(err, &me) && !errors.As(err, &ve) {
+			t.Errorf("%s: error is not typed: %T", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// mutate decodes the good manifest loosely, applies f, and validates.
+func mutate(t *testing.T, f func(*SuiteSpec)) error {
+	t.Helper()
+	var s SuiteSpec
+	if err := json.Unmarshal([]byte(goodManifest), &s); err != nil {
+		t.Fatal(err)
+	}
+	f(&s)
+	return Validate(&s)
+}
+
+func TestValidateFieldPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       func(*SuiteSpec)
+		wantSub string
+	}{
+		{"bad format", func(s *SuiteSpec) { s.Format = 2 }, "format:"},
+		{"no name", func(s *SuiteSpec) { s.Name = "" }, "name:"},
+		{"slash name", func(s *SuiteSpec) { s.Name = "a/b" }, "name:"},
+		{"no circuits", func(s *SuiteSpec) { s.Circuits = nil }, "circuits:"},
+		{"ambiguous circuit", func(s *SuiteSpec) { s.Circuits[1].Netlist = "x" }, "circuits[1]:"},
+		{"unknown profile", func(s *SuiteSpec) { s.Circuits[1].Profile = "s000" }, "circuits[1].profile:"},
+		{"bad custom", func(s *SuiteSpec) { s.Circuits[0].Custom.FFs = 0 }, "circuits[0].custom:"},
+		{"bad align", func(s *SuiteSpec) { s.Sweep.Align = []string{"exact"} }, "sweep.align[0]:"},
+		{"negative eps", func(s *SuiteSpec) { s.Sweep.Eps = []float64{-1} }, "sweep.eps[0]:"},
+		{"bad quantile", func(s *SuiteSpec) { s.Sweep.Quantile = 1 }, "sweep.quantile:"},
+		{"no workloads", func(s *SuiteSpec) { s.Workloads = nil }, "workloads:"},
+		{"unknown workload", func(s *SuiteSpec) { s.Workloads[0].Type = "burnin" }, "workloads[0].type:"},
+		{"dup workload", func(s *SuiteSpec) { s.Workloads[0].Type = "clock-binning"; s.Workloads[0].BinEdges = []float64{1} }, "workloads[1].type:"},
+		{"binning no edges", func(s *SuiteSpec) { s.Workloads[1].BinEdges = nil }, "workloads[1].bin_edges:"},
+		{"unsorted edges", func(s *SuiteSpec) { s.Workloads[1].BinEdges = []float64{2, 1} }, "workloads[1].bin_edges:"},
+		{"drift on binning", func(s *SuiteSpec) { s.Workloads[1].Drifts = []float64{0.1} }, "workloads[1].drifts:"},
+		{"edges on effitest", func(s *SuiteSpec) { s.Workloads[0].BinEdges = []float64{1} }, "workloads[0].bin_edges:"},
+		{"aging no drifts", func(s *SuiteSpec) { s.Workloads[2].Drifts = nil }, "workloads[2].drifts:"},
+		{"drift out of range", func(s *SuiteSpec) { s.Workloads[2].Drifts = []float64{2.5} }, "workloads[2].drifts[0]:"},
+		{"no chips", func(s *SuiteSpec) { s.Chips.Count = 0 }, "chips.count:"},
+		{"bad backend", func(s *SuiteSpec) { s.Backend = "hw" }, "backend:"},
+		{"remote fault backend", func(s *SuiteSpec) { s.Backend = "fault"; s.Execution.Target = "daemon" }, "backend:"},
+		{"bad target", func(s *SuiteSpec) { s.Execution.Target = "cloud" }, "execution.target:"},
+		{"negative workers", func(s *SuiteSpec) { s.Execution.Workers = -1 }, "execution.workers:"},
+		{"expansion too large", func(s *SuiteSpec) {
+			s.Sweep.Seeds = make([]int64, 100)
+			s.Sweep.Eps = make([]float64, 100)
+		}, "limit 4096"},
+	}
+	for _, c := range cases {
+		err := mutate(t, c.f)
+		if err == nil {
+			t.Errorf("%s: validated clean", c.name)
+			continue
+		}
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: error is %T, want *ValidationError", c.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+	// All problems are reported at once, not just the first.
+	err := mutate(t, func(s *SuiteSpec) { s.Name = ""; s.Chips.Count = -1 })
+	var ve *ValidationError
+	if !errors.As(err, &ve) || len(ve.Errs) != 2 {
+		t.Fatalf("multi-error validation: %v", err)
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	if err := Validate(nil); err == nil {
+		t.Fatal("nil spec validated clean")
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	s1, err := Decode([]byte(goodManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Decode([]byte(goodManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := Expand(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Expand(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(c1)
+	j2, _ := json.Marshal(c2)
+	if string(j1) != string(j2) {
+		t.Fatal("expansion is not byte-identical across runs")
+	}
+
+	// Names are fully determined and unique; spot-check the lattice order.
+	seen := map[string]bool{}
+	for _, c := range c1 {
+		if seen[c.Request.Name] {
+			t.Fatalf("duplicate campaign name %q", c.Request.Name)
+		}
+		seen[c.Request.Name] = true
+	}
+	if got, want := c1[0].Request.Name, "smoke/t16@g7/effitest/align=heuristic,eps=0.002,seed=1"; got != want {
+		t.Fatalf("first campaign name %q, want %q", got, want)
+	}
+	last := c1[len(c1)-1]
+	if got, want := last.Request.Name, "smoke/s9234/aging-drift/align=heuristic,eps=0.002,seed=2,drift=0.1"; got != want {
+		t.Fatalf("last campaign name %q, want %q", got, want)
+	}
+	if last.Request.Drift != 0.1 || last.Request.Workload != "aging-drift" {
+		t.Fatalf("last campaign request: %+v", last.Request)
+	}
+}
+
+func TestExpandDefaults(t *testing.T) {
+	doc := `{
+		"format": 1, "name": "min",
+		"circuits": [{"profile": "s9234"}],
+		"workloads": [{"type": "effitest"}],
+		"chips": {"seed": 1, "count": 4}
+	}`
+	s, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	camps, err := Expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camps) != 1 {
+		t.Fatalf("expanded %d campaigns, want 1", len(camps))
+	}
+	req := camps[0].Request
+	if req.Name != "min/s9234/effitest/align=heuristic,eps=0,seed=1" {
+		t.Fatalf("defaulted name: %q", req.Name)
+	}
+	if req.Config.Align != "heuristic" || req.Config.Seed != 1 {
+		t.Fatalf("defaulted config: %+v", req.Config)
+	}
+	if camps[0].Backend != "" && camps[0].Backend != "sim" {
+		t.Fatalf("defaulted backend: %q", camps[0].Backend)
+	}
+}
+
+// FuzzManifestDecode holds the whole pipeline — strict decode, validation,
+// expansion — to "typed errors, never panics" on arbitrary bytes.
+func FuzzManifestDecode(f *testing.F) {
+	f.Add([]byte(goodManifest))
+	f.Add([]byte(`{"format": 1}`))
+	f.Add([]byte(`{"format": 1, "name": "x", "circuits": [{}], "workloads": [{"type": ""}], "chips": {"count": 1}}`))
+	f.Add([]byte(`{"format": 1, "name": "x", "circuits": [{"profile": "s9234"}], "workloads": [{"type": "clock-binning", "bin_edges": [1e308, 1e309]}], "chips": {"count": 1}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			var me *Error
+			var ve *ValidationError
+			if !errors.As(err, &me) && !errors.As(err, &ve) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		// A manifest that decodes cleanly must expand cleanly: Decode ran
+		// Validate, and Expand's own guard is unreachable after it.
+		camps, err := Expand(s)
+		if err != nil {
+			t.Fatalf("valid manifest failed to expand: %v", err)
+		}
+		if len(camps) == 0 || len(camps) > MaxCampaigns {
+			t.Fatalf("expansion size %d out of bounds", len(camps))
+		}
+	})
+}

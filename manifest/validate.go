@@ -1,0 +1,212 @@
+package manifest
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"effitest"
+	"effitest/workload"
+)
+
+// Validate checks a decoded manifest semantically and returns a
+// *ValidationError listing every problem with its field path, or nil. It
+// never panics, whatever the spec contains — the FuzzManifestDecode fuzz
+// target holds it to that.
+func Validate(s *SuiteSpec) error {
+	v := &validator{}
+	if s == nil {
+		v.addf("", "manifest is empty")
+		return v.err()
+	}
+	if s.Format != FormatVersion {
+		v.addf("format", "unsupported manifest format %d (this build reads %d)", s.Format, FormatVersion)
+	}
+	if s.Name == "" {
+		v.addf("name", "suite name is required")
+	} else if strings.ContainsAny(s.Name, "/\n") {
+		v.addf("name", "suite name must not contain '/' or newlines")
+	}
+
+	if len(s.Circuits) == 0 {
+		v.addf("circuits", "at least one circuit is required")
+	}
+	for i, ce := range s.Circuits {
+		v.circuit(fmt.Sprintf("circuits[%d]", i), ce)
+	}
+
+	v.sweep(&s.Sweep)
+
+	if len(s.Workloads) == 0 {
+		v.addf("workloads", "at least one workload is required (have %v)", workload.Types())
+	}
+	seen := map[string]bool{}
+	for i, w := range s.Workloads {
+		path := fmt.Sprintf("workloads[%d]", i)
+		if !workload.Valid(w.Type) {
+			v.addf(path+".type", "unknown workload %q (have %v)", w.Type, workload.Types())
+			continue
+		}
+		canon := workload.Canonical(w.Type)
+		if seen[canon] {
+			v.addf(path+".type", "workload %q listed twice", canon)
+		}
+		seen[canon] = true
+		switch canon {
+		case workload.TypeClockBinning:
+			if err := workload.ValidateEdges(w.BinEdges); err != nil {
+				v.addf(path+".bin_edges", "%v", err)
+			}
+			if len(w.Drifts) > 0 {
+				v.addf(path+".drifts", "drifts are only valid for the %s workload", workload.TypeAgingDrift)
+			}
+		case workload.TypeAgingDrift:
+			if len(w.Drifts) == 0 {
+				v.addf(path+".drifts", "aging drift needs at least one sweep point")
+			}
+			for j, d := range w.Drifts {
+				if err := workload.ValidateDrift(d); err != nil {
+					v.addf(fmt.Sprintf("%s.drifts[%d]", path, j), "%v", err)
+				}
+			}
+			if len(w.BinEdges) > 0 {
+				v.addf(path+".bin_edges", "bin edges are only valid for the %s workload", workload.TypeClockBinning)
+			}
+		default:
+			if len(w.BinEdges) > 0 {
+				v.addf(path+".bin_edges", "bin edges are only valid for the %s workload", workload.TypeClockBinning)
+			}
+			if len(w.Drifts) > 0 {
+				v.addf(path+".drifts", "drifts are only valid for the %s workload", workload.TypeAgingDrift)
+			}
+		}
+	}
+
+	if s.Chips.Count <= 0 {
+		v.addf("chips.count", "chip count must be positive, got %d", s.Chips.Count)
+	}
+
+	if !validBackend(s.Backend) {
+		v.addf("backend", "unknown backend %q (have %v)", s.Backend, Backends())
+	}
+
+	switch s.Execution.Target {
+	case "", "local":
+		// Non-sim backends are in-process constructs; fine here.
+	case "daemon", "coord":
+		if b := strings.ToLower(s.Backend); b != "" && b != "sim" {
+			v.addf("backend", "backend %q requires local execution, not target %q", s.Backend, s.Execution.Target)
+		}
+	default:
+		v.addf("execution.target", "unknown target %q (have local, daemon, coord)", s.Execution.Target)
+	}
+	if s.Execution.Workers < 0 {
+		v.addf("execution.workers", "workers must be >= 0, got %d", s.Execution.Workers)
+	}
+
+	// The expansion size is part of validity: a manifest that multiplies
+	// out to millions of campaigns is a bug, and catching it here keeps
+	// Expand allocation-safe on hostile input.
+	if n, ok := v.expansionSize(s); ok && n > MaxCampaigns {
+		v.addf("", "manifest expands to %d campaigns, limit %d", n, MaxCampaigns)
+	}
+	return v.err()
+}
+
+type validator struct {
+	errs []*Error
+}
+
+func (v *validator) addf(path, format string, args ...any) {
+	v.errs = append(v.errs, &Error{Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (v *validator) err() error {
+	if len(v.errs) == 0 {
+		return nil
+	}
+	return &ValidationError{Errs: v.errs}
+}
+
+func (v *validator) circuit(path string, ce CircuitEntry) {
+	set := 0
+	for _, ok := range []bool{ce.Profile != "", ce.Custom != nil, ce.Netlist != ""} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		v.addf(path, "exactly one of profile, custom or netlist must be set")
+		return
+	}
+	switch {
+	case ce.Profile != "":
+		if _, ok := effitest.ProfileByName(ce.Profile); !ok {
+			v.addf(path+".profile", "unknown profile %q", ce.Profile)
+		}
+	case ce.Custom != nil:
+		c := ce.Custom
+		if c.Name == "" {
+			v.addf(path+".custom.name", "custom profile name is required")
+		}
+		if c.FFs <= 0 || c.Gates <= 0 || c.Buffers <= 0 || c.Paths <= 0 {
+			v.addf(path+".custom", "ffs, gates, buffers and paths must all be positive")
+		}
+	}
+}
+
+func (v *validator) sweep(sw *Sweep) {
+	for i, a := range sw.Align {
+		switch strings.ToLower(a) {
+		case "heuristic", "fast-milp", "paper-ilp", "off":
+		default:
+			v.addf(fmt.Sprintf("sweep.align[%d]", i), "unknown align mode %q", a)
+		}
+	}
+	for i, e := range sw.Eps {
+		if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			v.addf(fmt.Sprintf("sweep.eps[%d]", i), "eps must be a finite value >= 0, got %v", e)
+		}
+	}
+	if bad(sw.Period) || sw.Period < 0 {
+		v.addf("sweep.period", "period must be a finite value >= 0, got %v", sw.Period)
+	}
+	if bad(sw.Quantile) || sw.Quantile < 0 || sw.Quantile >= 1 {
+		v.addf("sweep.quantile", "quantile must be in [0, 1), got %v", sw.Quantile)
+	}
+	if sw.CalibChips < 0 {
+		v.addf("sweep.calib_chips", "calib_chips must be >= 0, got %d", sw.CalibChips)
+	}
+	if sw.MaxBatch < 0 {
+		v.addf("sweep.max_batch", "max_batch must be >= 0, got %d", sw.MaxBatch)
+	}
+}
+
+func bad(f float64) bool { return math.IsNaN(f) || math.IsInf(f, 0) }
+
+// expansionSize computes how many campaigns the manifest expands to,
+// mirroring Expand's loop structure, with overflow saturation. ok is false
+// when earlier errors make the count meaningless.
+func (v *validator) expansionSize(s *SuiteSpec) (int, bool) {
+	if len(v.errs) > 0 {
+		return 0, false
+	}
+	points := 0
+	for _, w := range s.Workloads {
+		if workload.Canonical(w.Type) == workload.TypeAgingDrift {
+			points += len(w.Drifts)
+		} else {
+			points++
+		}
+	}
+	n := len(s.Circuits)
+	for _, f := range []int{max(len(s.Sweep.Align), 1), max(len(s.Sweep.Eps), 1), max(len(s.Sweep.Seeds), 1), points} {
+		n *= f
+		// n enters each multiply <= MaxCampaigns and every factor is
+		// bounded by the manifest's byte length, so this cannot overflow.
+		if n > MaxCampaigns {
+			return MaxCampaigns + 1, true
+		}
+	}
+	return n, true
+}
