@@ -12,14 +12,17 @@
 // whole `go test` output through is fine.
 //
 // Compare mode checks a fresh report against a committed baseline and exits
-// non-zero on a regression — the CI bench-regression smoke job:
+// non-zero on a regression — the CI bench-regression smoke job. -metric
+// repeats, so one invocation gates several metrics of the same benchmark
+// (every gate is evaluated and every failure reported before exiting):
 //
-//	benchjson -baseline BENCH_5.json -bench FlowChip/s9234 -metric ns/op -max-ratio 1.25 fresh.json
+//	benchjson -baseline BENCH_8.json -bench FlowChip/s9234 -metric ns/op -metric allocs/op -max-ratio 1.25 fresh.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -107,18 +110,10 @@ func readReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
-// compare checks fresh against the baseline: ratio fresh/baseline of the
-// chosen metric must stay ≤ maxRatio. Returns an error describing the
+// compareOne checks one metric of fresh against the baseline: ratio
+// fresh/baseline must stay ≤ maxRatio. Returns an error describing the
 // regression, or nil.
-func compare(baselinePath, freshPath, bench, metric string, maxRatio float64) error {
-	base, err := readReport(baselinePath)
-	if err != nil {
-		return err
-	}
-	fresh, err := readReport(freshPath)
-	if err != nil {
-		return err
-	}
+func compareOne(base, fresh *Report, baselinePath, freshPath, bench, metric string, maxRatio float64) error {
 	bv, err := findMetric(base, bench, metric)
 	if err != nil {
 		return fmt.Errorf("baseline %s: %v", baselinePath, err)
@@ -139,12 +134,44 @@ func compare(baselinePath, freshPath, bench, metric string, maxRatio float64) er
 	return nil
 }
 
+// compare gates every requested metric of one benchmark in a single
+// invocation — CI used to shell out once per metric, re-reading both
+// reports each time. All gates are evaluated so a run reports every
+// regression, not just the first; the returned error joins them.
+func compare(baselinePath, freshPath, bench string, metrics []string, maxRatio float64) error {
+	base, err := readReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := readReport(freshPath)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, metric := range metrics {
+		if err := compareOne(base, fresh, baselinePath, freshPath, bench, metric, maxRatio); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// metricList collects repeated -metric flags.
+type metricList []string
+
+func (m *metricList) String() string { return strings.Join(*m, ",") }
+func (m *metricList) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	label := flag.String("label", "", "free-form label recorded in the report (e.g. a PR number)")
 	baseline := flag.String("baseline", "", "compare mode: committed baseline report to diff the positional fresh report against")
 	bench := flag.String("bench", "FlowChip/s9234", "compare mode: benchmark name to check")
-	metric := flag.String("metric", "ns/op", "compare mode: metric to check")
+	var metrics metricList
+	flag.Var(&metrics, "metric", "compare mode: metric to check (repeatable; default ns/op)")
 	maxRatio := flag.Float64("max-ratio", 1.25, "compare mode: fail when fresh/baseline exceeds this")
 	flag.Parse()
 
@@ -153,7 +180,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: compare mode needs exactly one fresh report argument")
 			os.Exit(2)
 		}
-		if err := compare(*baseline, flag.Arg(0), *bench, *metric, *maxRatio); err != nil {
+		if len(metrics) == 0 {
+			metrics = metricList{"ns/op"}
+		}
+		if err := compare(*baseline, flag.Arg(0), *bench, metrics, *maxRatio); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

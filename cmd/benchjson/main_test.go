@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -72,20 +73,60 @@ func TestCompare(t *testing.T) {
 
 	ok := filepath.Join(dir, "ok.json")
 	writeReport(t, ok, []Result{{Name: "FlowChip/s9234", Metrics: map[string]float64{"ns/op": 1200}}})
-	if err := compare(base, ok, "FlowChip/s9234", "ns/op", 1.25); err != nil {
+	if err := compare(base, ok, "FlowChip/s9234", []string{"ns/op"}, 1.25); err != nil {
 		t.Fatalf("ratio 1.2 within 1.25 budget, got %v", err)
 	}
 
 	bad := filepath.Join(dir, "bad.json")
 	writeReport(t, bad, []Result{{Name: "FlowChip/s9234", Metrics: map[string]float64{"ns/op": 1300}}})
-	if err := compare(base, bad, "FlowChip/s9234", "ns/op", 1.25); err == nil {
+	if err := compare(base, bad, "FlowChip/s9234", []string{"ns/op"}, 1.25); err == nil {
 		t.Fatal("ratio 1.3 must fail the 1.25 budget")
 	}
 
-	if err := compare(base, ok, "FlowChip/missing", "ns/op", 1.25); err == nil {
+	if err := compare(base, ok, "FlowChip/missing", []string{"ns/op"}, 1.25); err == nil {
 		t.Fatal("missing benchmark must be an error, not a silent pass")
 	}
-	if err := compare(base, ok, "FlowChip/s9234", "allocs/op", 1.25); err == nil {
+	if err := compare(base, ok, "FlowChip/s9234", []string{"allocs/op"}, 1.25); err == nil {
 		t.Fatal("missing metric must be an error, not a silent pass")
+	}
+}
+
+// TestCompareMultiMetric covers the repeated -metric form: one invocation
+// gates several metrics, passes only when all pass, and reports every
+// failing gate rather than stopping at the first.
+func TestCompareMultiMetric(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeReport(t, base, []Result{{Name: "FlowChip/s9234",
+		Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 100}}})
+
+	ok := filepath.Join(dir, "ok.json")
+	writeReport(t, ok, []Result{{Name: "FlowChip/s9234",
+		Metrics: map[string]float64{"ns/op": 1100, "allocs/op": 100}}})
+	if err := compare(base, ok, "FlowChip/s9234", []string{"ns/op", "allocs/op"}, 1.25); err != nil {
+		t.Fatalf("both metrics within budget, got %v", err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	writeReport(t, bad, []Result{{Name: "FlowChip/s9234",
+		Metrics: map[string]float64{"ns/op": 1400, "allocs/op": 150}}})
+	err := compare(base, bad, "FlowChip/s9234", []string{"ns/op", "allocs/op"}, 1.25)
+	if err == nil {
+		t.Fatal("two regressed metrics must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "ns/op") || !strings.Contains(msg, "allocs/op") {
+		t.Fatalf("joined error must name every failing gate, got %q", msg)
+	}
+
+	mixed := filepath.Join(dir, "mixed.json")
+	writeReport(t, mixed, []Result{{Name: "FlowChip/s9234",
+		Metrics: map[string]float64{"ns/op": 1100, "allocs/op": 150}}})
+	err = compare(base, mixed, "FlowChip/s9234", []string{"ns/op", "allocs/op"}, 1.25)
+	if err == nil {
+		t.Fatal("one regressed metric must fail the whole invocation")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("error must name the regressed metric, got %q", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"effitest/internal/circuit"
+	"effitest/internal/pool"
 	"effitest/internal/tester"
 )
 
@@ -37,9 +38,12 @@ type Plan struct {
 
 	// kernels holds the baked per-group conditional predictors (see
 	// kernels.go) and scratch the pool of per-worker workspaces. Both are
-	// derived state set by bakeKernels from Prepare/Bind — never
-	// serialized, read-only afterwards, shared safely by shallow copies.
+	// derived state — never serialized, read-only afterwards, shared safely
+	// by shallow copies. Prepare bakes kernels eagerly; Bind instead sets
+	// lazy, and the first chip run bakes through it (the pointer is shared
+	// by shallow copies, so the bake happens exactly once).
 	kernels *predictKernels
+	lazy    *lazyKernels
 	scratch *sync.Pool
 }
 
@@ -197,78 +201,47 @@ func (pl *Plan) RunChipCtx(ctx context.Context, ch *tester.Chip, Td float64) (*C
 func (pl *Plan) RunChipOpts(ctx context.Context, ch *tester.Chip, Td float64, opts RunOptions) (*ChipOutcome, error) {
 	scr := pl.getScratch()
 	defer pl.putScratch(scr)
-	return pl.runChipScratch(ctx, ch, Td, opts, scr)
+	return pl.runChipScratch(ctx, ch, Td, opts, scr, pool.Resolve(pl.Cfg.Workers))
 }
 
-// runChipScratch is RunChipOpts over a caller-owned scratch: the worker
-// pool hands each worker one scratch for its whole chip stream, so the hot
-// prediction and alignment state is reused instead of reallocated per chip.
-func (pl *Plan) runChipScratch(ctx context.Context, ch *tester.Chip, Td float64, opts RunOptions, scr *chipScratch) (out *ChipOutcome, err error) {
-	if ch.Circuit != pl.Circuit {
-		return nil, ErrChipCircuitMismatch
-	}
-	obs := opts.Observer
-	if obs != nil {
-		defer func() {
-			e := ChipDoneEvent{Chip: ch.Index, Err: err}
-			if out != nil {
-				e.Iterations = out.Iterations
-				e.Configured = out.Configured
-				e.Passed = out.Passed
-			}
-			obs.Observe(e)
-		}()
-	}
-	c := pl.Circuit
-	cfg := pl.Cfg
-	out = &ChipOutcome{}
-
+// measureChip runs the measurement phase — aligned delay test of every
+// batch — returning the partial outcome (iterations, scan bits, alignment
+// time) and the per-path bounds with the tested paths resolved.
+func (pl *Plan) measureChip(ctx context.Context, ch *tester.Chip, opts RunOptions, scr *chipScratch) (*ChipOutcome, *Bounds, error) {
+	c, cfg, obs := pl.Circuit, pl.Cfg, opts.Observer
+	out := &ChipOutcome{}
 	b := InitBounds(c)
 	sess, err := opts.backend().Open(ch, cfg.TesterResolution)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	lambda := pl.Hold.Lambda
 	for bi, batch := range pl.Batches {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		observe(obs, BatchStartEvent{Chip: ch.Index, Batch: bi, Paths: len(batch)})
 		iters, alignDur, err := runBatchTest(ctx, sess, c, batch, b, lambda, cfg, obs, ch.Index, bi, scr)
 		observe(obs, BatchEndEvent{Chip: ch.Index, Batch: bi, Iterations: iters, AlignTime: alignDur, Err: err})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out.Iterations += iters
 		out.AlignDuration += alignDur
 	}
 	_, out.ScanBits = sess.Counters()
+	return out, b, nil
+}
 
-	predStart := time.Now()
-	if pl.kernels != nil {
-		// Fast path: the baked kernels reduce §3.4's conditional estimation
-		// to a triangular solve + matvec per group, allocation-free over the
-		// worker's scratch, bit-identical to the naive path below.
-		pl.kernels.predictBounds(b, &scr.ws)
-	} else if err := PredictBounds(c, pl.Groups, pl.Tested, b); err != nil {
-		return nil, err
-	}
-	out.PredictDuration = time.Since(predStart)
-	if obs != nil {
-		e := PredictEvent{Chip: ch.Index, Duration: out.PredictDuration}
-		if pl.kernels != nil {
-			e.Groups = pl.kernels.predGroups
-			e.Predicted = pl.kernels.predPaths
-		}
-		obs.Observe(e)
-	}
+// finishChip runs the configuration phase: final buffer values (Eqs. 15–18)
+// and the pass/fail test at Td.
+func (pl *Plan) finishChip(ch *tester.Chip, Td float64, out *ChipOutcome, b *Bounds) error {
 	out.Bounds = b
-
 	cfgStart := time.Now()
-	res, err := Configure(c, b, pl.Hold, Td, cfg)
+	res, err := Configure(pl.Circuit, b, pl.Hold, Td, pl.Cfg)
 	out.ConfigDuration = time.Since(cfgStart)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	out.Configured = res.Feasible
 	if res.Feasible {
@@ -276,7 +249,164 @@ func (pl *Plan) runChipScratch(ctx context.Context, ch *tester.Chip, Td float64,
 		out.Xi = res.Xi
 		out.Passed = ch.PassesAt(Td, res.X) && ch.HoldOK(res.X)
 	} else {
-		out.X = make([]float64, c.NumFF)
+		out.X = make([]float64, pl.Circuit.NumFF)
+	}
+	return nil
+}
+
+// chipDone emits the terminal per-chip event.
+func chipDone(obs Observer, chip int, out *ChipOutcome, err error) {
+	if obs == nil {
+		return
+	}
+	e := ChipDoneEvent{Chip: chip, Err: err}
+	if out != nil {
+		e.Iterations = out.Iterations
+		e.Configured = out.Configured
+		e.Passed = out.Passed
+	}
+	obs.Observe(e)
+}
+
+// runChipScratch is RunChipOpts over a caller-owned scratch: the worker
+// pool hands each worker one scratch for its whole chip stream, so the hot
+// prediction and alignment state is reused instead of reallocated per chip.
+// pw is the within-chip prediction fan-out (subworkers sweeping the
+// correlation groups of one chip in parallel; ≤1 = sequential).
+func (pl *Plan) runChipScratch(ctx context.Context, ch *tester.Chip, Td float64, opts RunOptions, scr *chipScratch, pw int) (out *ChipOutcome, err error) {
+	if ch.Circuit != pl.Circuit {
+		return nil, ErrChipCircuitMismatch
+	}
+	obs := opts.Observer
+	if obs != nil {
+		defer func() { chipDone(obs, ch.Index, out, err) }()
+	}
+	out, b, err := pl.measureChip(ctx, ch, opts, scr)
+	if err != nil {
+		return nil, err
+	}
+
+	ks, err := pl.predictorKernels(ctx)
+	if err != nil {
+		return nil, err
+	}
+	predStart := time.Now()
+	if ks != nil {
+		// Fast path: the baked kernels reduce §3.4's conditional estimation
+		// to a triangular solve + matvec per group, allocation-free over the
+		// worker's scratch, bit-identical to the naive path below.
+		scr.bounds = append(scr.bounds[:0], b)
+		ks.predictInto(scr.bounds, scr, pw)
+	} else if err := PredictBounds(pl.Circuit, pl.Groups, pl.Tested, b); err != nil {
+		return nil, err
+	}
+	out.PredictDuration = time.Since(predStart)
+	if obs != nil {
+		e := PredictEvent{Chip: ch.Index, Duration: out.PredictDuration}
+		if ks != nil {
+			e.Groups = ks.predGroups
+			e.Predicted = ks.predPaths
+		}
+		obs.Observe(e)
+	}
+
+	if err := pl.finishChip(ch, Td, out, b); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// runChipBatch executes a contiguous run of chips as one scheduling unit:
+// measurement chip by chip, then §3.4 prediction batched across every chip
+// that measured cleanly — one TRSM-shaped multi-RHS kernel call per
+// correlation group — then configuration chip by chip. Outcomes are
+// bit-identical to per-chip execution (the batched kernels are column-wise
+// identical to the vector kernels) and a chip's failure stays its own
+// result: the rest of the batch proceeds without it. The returned slice is
+// parallel to chips, entry i carrying Index first+i.
+//
+// The batch's prediction wall time is attributed evenly: each predicted
+// chip's PredictDuration is the batch total divided by the batch's live
+// chip count.
+func (pl *Plan) runChipBatch(ctx context.Context, first int, chips []*tester.Chip, Td float64, opts RunOptions, scr *chipScratch, pw int) []ChipResult {
+	obs := opts.Observer
+	res := make([]ChipResult, len(chips))
+	bs := make([]*Bounds, len(chips))
+	for i, ch := range chips {
+		res[i] = ChipResult{Index: first + i, Chip: ch}
+		if ch.Circuit != pl.Circuit {
+			// Mirror runChipScratch: a mismatched chip fails before the
+			// observer is engaged, so no ChipDone event.
+			res[i].Err = ErrChipCircuitMismatch
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			res[i].Err = err
+			chipDone(obs, ch.Index, nil, err)
+			continue
+		}
+		out, b, err := pl.measureChip(ctx, ch, opts, scr)
+		if err != nil {
+			res[i].Err = err
+			chipDone(obs, ch.Index, nil, err)
+			continue
+		}
+		res[i].Outcome = out
+		bs[i] = b
+	}
+
+	// Batched prediction over the survivors.
+	live := scr.bounds[:0]
+	for _, b := range bs {
+		if b != nil {
+			live = append(live, b)
+		}
+	}
+	scr.bounds = live
+	ks, kerr := pl.predictorKernels(ctx)
+	var share time.Duration
+	if kerr == nil && ks != nil && len(live) > 0 {
+		predStart := time.Now()
+		ks.predictInto(live, scr, pw)
+		share = time.Since(predStart) / time.Duration(len(live))
+	}
+
+	for i, ch := range chips {
+		if res[i].Err != nil || bs[i] == nil {
+			continue
+		}
+		out, b := res[i].Outcome, bs[i]
+		if kerr != nil {
+			res[i].Outcome, res[i].Err = nil, kerr
+			chipDone(obs, ch.Index, nil, kerr)
+			continue
+		}
+		if ks == nil {
+			// Naive fallback (plans without kernels), still per chip.
+			predStart := time.Now()
+			if err := PredictBounds(pl.Circuit, pl.Groups, pl.Tested, b); err != nil {
+				res[i].Outcome, res[i].Err = nil, err
+				chipDone(obs, ch.Index, nil, err)
+				continue
+			}
+			out.PredictDuration = time.Since(predStart)
+		} else {
+			out.PredictDuration = share
+		}
+		if obs != nil {
+			e := PredictEvent{Chip: ch.Index, Duration: out.PredictDuration}
+			if ks != nil {
+				e.Groups = ks.predGroups
+				e.Predicted = ks.predPaths
+			}
+			obs.Observe(e)
+		}
+		if err := pl.finishChip(ch, Td, out, b); err != nil {
+			res[i].Outcome, res[i].Err = nil, err
+			chipDone(obs, ch.Index, nil, err)
+			continue
+		}
+		chipDone(obs, ch.Index, out, nil)
+	}
+	return res
 }

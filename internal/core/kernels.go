@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"effitest/internal/circuit"
 	"effitest/internal/la"
@@ -117,6 +118,67 @@ func bakePredictKernels(ctx context.Context, c *circuit.Circuit, groups []Group,
 	return ks, nil
 }
 
+// predictOne applies one baked group predictor to a single chip's bounds:
+// gather the measured upper bounds, one triangular solve + matvec (Eq. 4),
+// scatter the μ′ ± 3σ′ windows back. Allocation-free once ws is warm.
+func (gk *groupKernel) predictOne(b *Bounds, ws *la.Workspace) {
+	ws.Reset()
+	obs := ws.Take(len(gk.known))
+	for j, k := range gk.known {
+		obs[j] = b.Hi[k] // conservative: measured upper bounds
+	}
+	mu := ws.Take(len(gk.unknown))
+	gk.pred.MuTo(mu, obs, ws)
+	for j, p := range gk.unknown {
+		sigma := gk.sigma[j]
+		m := mu[j]
+		lo := m - 3*sigma
+		if lo < 0 {
+			lo = 0
+		}
+		b.Lo[p] = lo
+		b.Hi[p] = m + 3*sigma
+	}
+}
+
+// predictMulti applies one baked group predictor to K chips at once through
+// the TRSM-shaped multi-RHS kernels: the group's Cholesky factor and
+// cross-covariance stream through the cache once per batch instead of once
+// per chip. Column j of the observation block is chip j's measurements, so
+// each chip's result is bit-identical to predictOne (the multi kernels are
+// column-wise identical to the vector kernels). A single chip takes the
+// vector path — batching buys nothing there and the strided gather would
+// only cost.
+func (gk *groupKernel) predictMulti(bs []*Bounds, ws *la.Workspace) {
+	if len(bs) == 1 {
+		gk.predictOne(bs[0], ws)
+		return
+	}
+	ws.Reset()
+	obs := ws.TakeMatrix(len(gk.known), len(bs))
+	for i, k := range gk.known {
+		row := obs.RowView(i)
+		for j, b := range bs {
+			row[j] = b.Hi[k] // conservative: measured upper bounds
+		}
+	}
+	mu := ws.TakeMatrix(len(gk.unknown), len(bs))
+	gk.pred.MuBatchTo(&mu, &obs, ws)
+	for i, p := range gk.unknown {
+		sigma := gk.sigma[i]
+		row := mu.RowView(i)
+		for j, b := range bs {
+			m := row[j]
+			lo := m - 3*sigma
+			if lo < 0 {
+				lo = 0
+			}
+			b.Lo[p] = lo
+			b.Hi[p] = m + 3*sigma
+		}
+	}
+}
+
 // predictBounds is the per-chip fast path of PredictBounds: apply every
 // baked group predictor to the measured upper bounds in b and write the
 // μ′ ± 3σ′ windows back. Bit-identical to the naive path; allocation-free
@@ -129,24 +191,57 @@ func (ks *predictKernels) predictBounds(b *Bounds, ws *la.Workspace) {
 			// like the naive path's degraded-group fallback.
 			continue
 		}
-		ws.Reset()
-		obs := ws.Take(len(gk.known))
-		for j, k := range gk.known {
-			obs[j] = b.Hi[k] // conservative: measured upper bounds
-		}
-		mu := ws.Take(len(gk.unknown))
-		gk.pred.MuTo(mu, obs, ws)
-		for j, p := range gk.unknown {
-			sigma := gk.sigma[j]
-			m := mu[j]
-			lo := m - 3*sigma
-			if lo < 0 {
-				lo = 0
-			}
-			b.Lo[p] = lo
-			b.Hi[p] = m + 3*sigma
-		}
+		gk.predictOne(b, ws)
 	}
+}
+
+// predictInto runs §3.4 prediction for a batch of chips' bounds, fanning
+// across groups when workers > 1. Groups partition the path set, so two
+// groups never write the same Bounds entry: the parallel sweep is race-free
+// and — because each group's arithmetic is untouched — bit-identical to the
+// sequential one at any worker count. Each subworker predicts over its own
+// workspace from scr.sub; the sequential path uses scr.ws and stays
+// allocation-free once warm.
+func (ks *predictKernels) predictInto(bs []*Bounds, scr *chipScratch, workers int) {
+	if len(bs) == 0 {
+		return
+	}
+	if workers > ks.predGroups {
+		workers = ks.predGroups
+	}
+	if workers <= 1 {
+		for i := range ks.groups {
+			gk := &ks.groups[i]
+			if gk.pred == nil {
+				continue
+			}
+			gk.predictMulti(bs, &scr.ws)
+		}
+		return
+	}
+	sub := scr.requireSub(workers)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		ws := &sub[w]
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(ks.groups) {
+					return
+				}
+				gk := &ks.groups[i]
+				if gk.pred == nil {
+					continue
+				}
+				gk.predictMulti(bs, ws)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // predictSigmas scatters the baked σ′ into a per-path slice — the kernel
@@ -167,9 +262,10 @@ func (ks *predictKernels) predictSigmas(numPaths int) []float64 {
 }
 
 // bakeKernels prefactorizes the per-group conditional predictors and sets
-// up the per-worker scratch pool. Prepare and Bind both call it: the
-// kernels are derived state — recomputed, never serialized — so plan
-// artifacts stay compact and version-independent of the kernel layout.
+// up the per-worker scratch pool. Prepare calls it eagerly: the kernels are
+// derived state — recomputed, never serialized — so plan artifacts stay
+// compact and version-independent of the kernel layout. Bind instead
+// defers the bake behind a lazyKernels (see below).
 func (pl *Plan) bakeKernels(ctx context.Context) error {
 	ks, err := bakePredictKernels(ctx, pl.Circuit, pl.Groups, pl.Tested, pl.Cfg.Workers)
 	if err != nil {
@@ -180,14 +276,77 @@ func (pl *Plan) bakeKernels(ctx context.Context) error {
 	return nil
 }
 
+// lazyKernels defers bakePredictKernels to the first chip that needs it.
+// Baking is the expensive tail of a warm plan-cache load — one ridged
+// Cholesky per group — and a process that loads a plan only to inspect or
+// re-serve it should not pay it, so Bind installs this instead of baking
+// eagerly. The state is held behind a pointer shared by every shallow copy
+// of the plan (resolvePlan and WithoutPredictorKernels copy Plan by value),
+// so the bake happens once no matter which copy runs the first chip.
+type lazyKernels struct {
+	mu  sync.Mutex
+	ks  atomic.Pointer[predictKernels]
+	err error // sticky bake failure (never a caller's context error)
+}
+
+// predictorKernels resolves the plan's baked kernels, baking them on first
+// use for lazily-bound plans. It returns (nil, nil) for plans deliberately
+// built without kernels (hand-assembled literals, WithoutPredictorKernels) —
+// callers then take the naive prediction path. A bake failure is sticky and
+// returned to every subsequent chip; a context cancellation during the bake
+// is returned to that caller only, leaving the plan bakeable.
+func (pl *Plan) predictorKernels(ctx context.Context) (*predictKernels, error) {
+	if pl.kernels != nil {
+		return pl.kernels, nil
+	}
+	lz := pl.lazy
+	if lz == nil {
+		return nil, nil
+	}
+	if ks := lz.ks.Load(); ks != nil {
+		return ks, nil
+	}
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if ks := lz.ks.Load(); ks != nil {
+		return ks, nil
+	}
+	if lz.err != nil {
+		return nil, lz.err
+	}
+	ks, err := bakePredictKernels(ctx, pl.Circuit, pl.Groups, pl.Tested, pl.Cfg.Workers)
+	if err != nil {
+		if ctx.Err() == nil {
+			lz.err = err
+		}
+		return nil, err
+	}
+	lz.ks.Store(ks)
+	return ks, nil
+}
+
+// bakedKernels returns the kernels if they exist right now — eager or
+// already lazily baked — without triggering a bake.
+func (pl *Plan) bakedKernels() *predictKernels {
+	if pl.kernels != nil {
+		return pl.kernels
+	}
+	if pl.lazy != nil {
+		return pl.lazy.ks.Load()
+	}
+	return nil
+}
+
 // PredictorSigmas returns the baked conditional σ′ per path for the plan's
-// tested set, or nil when the plan has no baked kernels (an unbound decoded
-// artifact). The differential tests pin it bitwise against PredictSigmas.
+// tested set (baking lazily-bound plans on demand), or nil when the plan
+// has no kernels at all (a hand-assembled literal or a kernel bake
+// failure). The differential tests pin it bitwise against PredictSigmas.
 func (pl *Plan) PredictorSigmas() []float64 {
-	if pl.kernels == nil {
+	ks, err := pl.predictorKernels(context.Background())
+	if err != nil || ks == nil {
 		return nil
 	}
-	return pl.kernels.predictSigmas(pl.Circuit.NumPaths())
+	return ks.predictSigmas(pl.Circuit.NumPaths())
 }
 
 // WithoutPredictorKernels returns a shallow copy of the plan with the baked
@@ -197,6 +356,7 @@ func (pl *Plan) PredictorSigmas() []float64 {
 func (pl *Plan) WithoutPredictorKernels() *Plan {
 	cp := *pl
 	cp.kernels = nil
+	cp.lazy = nil
 	return &cp
 }
 
@@ -205,18 +365,30 @@ func (pl *Plan) WithoutPredictorKernels() *Plan {
 // runBatchTest refills on every frequency step.
 type chipScratch struct {
 	ws     la.Workspace
+	sub    []la.Workspace // per-subworker arenas for within-chip group parallelism
+	bounds []*Bounds      // gather buffer for the batched prediction phase
 	items  []alignItem
 	order  []int // assignWeights rank buffer
 	active []int
 	al     alignScratch
 }
 
+// requireSub hands out n independent workspaces for the within-chip
+// parallel predict sweep, growing (and keeping) them across chips so the
+// arenas warm up once per worker.
+func (scr *chipScratch) requireSub(n int) []la.Workspace {
+	for len(scr.sub) < n {
+		scr.sub = append(scr.sub, la.Workspace{})
+	}
+	return scr.sub
+}
+
 // newChipScratch sizes a scratch for this plan: the kernel workspace at its
 // baked high-water mark and the alignment buffers at the largest batch.
 func (pl *Plan) newChipScratch() *chipScratch {
 	scr := &chipScratch{}
-	if pl.kernels != nil {
-		scr.ws.Require(pl.kernels.scratchLen)
+	if ks := pl.bakedKernels(); ks != nil {
+		scr.ws.Require(ks.scratchLen)
 	}
 	maxBatch := 0
 	for _, b := range pl.Batches {

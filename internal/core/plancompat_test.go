@@ -92,12 +92,15 @@ func TestPlanCacheSelfHealsAcrossVersions(t *testing.T) {
 	if pl.kernels == nil {
 		t.Fatal("re-prepared plan has no baked kernels")
 	}
-	// The overwritten entry now loads — with kernels rebaked on bind.
+	// The overwritten entry now loads — kernels defer to first use.
 	warm, err := pc.Get(c, cfg)
 	if err != nil || warm == nil {
 		t.Fatalf("self-healed entry should hit, got plan=%v err=%v", warm, err)
 	}
-	if warm.kernels == nil {
-		t.Fatal("cache-loaded plan has no baked kernels")
+	if warm.lazy == nil {
+		t.Fatal("cache-loaded plan has no lazy kernel state")
+	}
+	if ks, err := warm.predictorKernels(context.Background()); err != nil || ks == nil {
+		t.Fatalf("cache-loaded plan could not bake kernels on demand: ks=%v err=%v", ks, err)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"effitest/internal/circuit"
@@ -194,7 +195,10 @@ func (d *planDecoder) ints() ([]int, error) {
 
 // encodeConfig writes every Config field in fixed order; decodeConfig is
 // its exact mirror. Adding a Config field requires extending both and
-// bumping PlanFormatVersion.
+// bumping PlanFormatVersion. PredictBatch is deliberately not serialized:
+// like Workers it never shapes the plan, and a loaded plan adopts the live
+// request's value (the plan cache and the engine both overwrite Cfg before
+// running chips), so decoded artifacts default to automatic batching.
 func encodeConfig(e *planEncoder, cfg Config) {
 	e.varint(cfg.Seed)
 	e.float(cfg.Eps)
@@ -556,7 +560,13 @@ func DecodePlanJSON(r io.Reader) (*Plan, error) {
 // otherwise), every path / flip-flop index is range-checked against the
 // circuit, the flow configuration is re-validated, and the derived
 // per-group distributions are recomputed. After a successful Bind the plan
-// behaves exactly like one produced by Prepare on this process.
+// behaves exactly like one produced by Prepare on this process, with one
+// deliberate difference in timing: the conditional-prediction kernels are
+// baked lazily, by the first chip run on the plan, instead of eagerly here
+// — so a warm plan-cache load stays cheap and a process that only inspects
+// or re-serves the plan never pays the per-group Cholesky work. A kernel
+// bake failure (possible only on a tampered-but-plausible artifact)
+// correspondingly surfaces on that first chip run rather than from Bind.
 func (pl *Plan) Bind(c *circuit.Circuit) error {
 	hash, err := circuit.Fingerprint(c)
 	if err != nil {
@@ -568,8 +578,7 @@ func (pl *Plan) Bind(c *circuit.Circuit) error {
 // bindWithFingerprint is Bind with the circuit's fingerprint already
 // computed (the plan cache hashes the circuit for its key anyway; hashing
 // a large netlist twice per warm load would double the hot-path cost) and
-// with cancellation: the kernel bake is the expensive tail of a warm load,
-// so a cancelled context aborts it promptly.
+// with cancellation over the per-group MVN recomputation.
 func (pl *Plan) bindWithFingerprint(ctx context.Context, c *circuit.Circuit, hash string) error {
 	if pl.circuitHash != "" && pl.circuitHash != hash {
 		return fmt.Errorf("%w: artifact for %q (%.12s…), got %q (%.12s…)",
@@ -593,15 +602,14 @@ func (pl *Plan) bindWithFingerprint(ctx context.Context, c *circuit.Circuit, has
 		}
 		return fmt.Errorf("%w: %v", ErrPlanFormat, err)
 	}
-	// Rebake the conditional-prediction kernels: like the group MVNs they
-	// are derived state, recomputed rather than shipped, so artifacts stay
-	// compact and a bound plan behaves exactly like a prepared one.
-	if err := pl.bakeKernels(ctx); err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return ctxErr
-		}
-		return fmt.Errorf("%w: %v", ErrPlanFormat, err)
-	}
+	// The conditional-prediction kernels are derived state like the group
+	// MVNs — recomputed, never shipped — but baking them (a ridged Cholesky
+	// per group) is the expensive tail of a warm plan-cache load, and a
+	// process that binds a plan to inspect or re-serve it never needs them.
+	// Defer the bake to first use: the first chip executed on this plan
+	// pays it once, under the plan's Workers fan-out.
+	pl.lazy = &lazyKernels{}
+	pl.scratch = &sync.Pool{New: func() any { return pl.newChipScratch() }}
 	return nil
 }
 

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"effitest/internal/tester"
+)
+
+// batchTestWidths is the K axis the batched prediction path is pinned
+// across, matching the multi-RHS kernel tests in internal/la.
+var batchTestWidths = []int{1, 2, 7, 64}
+
+// measuredBounds runs n chips and returns copies of their measured bounds,
+// ready to be re-predicted through either path.
+func measuredBounds(t *testing.T, pl *Plan, n int) []*Bounds {
+	t.Helper()
+	c := pl.Circuit
+	chips := make([]*tester.Chip, n)
+	for i := range chips {
+		chips[i] = tester.SampleChip(c, 31, i)
+	}
+	outs, err := pl.RunChipsAll(context.Background(), chips, c.TNominal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := make([]*Bounds, n)
+	for i, out := range outs {
+		b := InitBounds(c)
+		copy(b.Lo, out.Bounds.Lo)
+		copy(b.Hi, out.Bounds.Hi)
+		bs[i] = b
+	}
+	return bs
+}
+
+func cloneBounds(c *Bounds, pl *Plan) *Bounds {
+	b := InitBounds(pl.Circuit)
+	copy(b.Lo, c.Lo)
+	copy(b.Hi, c.Hi)
+	return b
+}
+
+// TestPredictIntoBatchMatchesSequential pins the batched multi-RHS
+// prediction path bitwise against the per-chip vector path across every
+// batch width, including the degenerate K=1 and a width far beyond the
+// auto default.
+func TestPredictIntoBatchMatchesSequential(t *testing.T) {
+	_, pl := kernelTestPlan(t)
+	maxK := batchTestWidths[len(batchTestWidths)-1]
+	src := measuredBounds(t, pl, maxK)
+
+	scr := pl.getScratch()
+	defer pl.putScratch(scr)
+	for _, k := range batchTestWidths {
+		want := make([]*Bounds, k)
+		for i := 0; i < k; i++ {
+			want[i] = cloneBounds(src[i], pl)
+			pl.kernels.predictBounds(want[i], &scr.ws)
+		}
+		got := make([]*Bounds, k)
+		for i := 0; i < k; i++ {
+			got[i] = cloneBounds(src[i], pl)
+		}
+		pl.kernels.predictInto(got, scr, 1)
+		for i := 0; i < k; i++ {
+			for p := range want[i].Lo {
+				if got[i].Lo[p] != want[i].Lo[p] || got[i].Hi[p] != want[i].Hi[p] {
+					t.Fatalf("k=%d chip %d path %d: batch [%v, %v] != sequential [%v, %v]",
+						k, i, p, got[i].Lo[p], got[i].Hi[p], want[i].Lo[p], want[i].Hi[p])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictIntoParallelMatchesSequential pins the within-chip
+// group-parallel sweep bitwise against the sequential one: groups partition
+// the path set, so fan-out must never change a bit, at any worker count.
+func TestPredictIntoParallelMatchesSequential(t *testing.T) {
+	_, pl := kernelTestPlan(t)
+	src := measuredBounds(t, pl, 7)
+
+	scr := pl.getScratch()
+	defer pl.putScratch(scr)
+	want := make([]*Bounds, len(src))
+	for i := range src {
+		want[i] = cloneBounds(src[i], pl)
+	}
+	pl.kernels.predictInto(want, scr, 1)
+
+	for _, workers := range []int{2, 8} {
+		got := make([]*Bounds, len(src))
+		for i := range src {
+			got[i] = cloneBounds(src[i], pl)
+		}
+		pl.kernels.predictInto(got, scr, workers)
+		for i := range got {
+			for p := range want[i].Lo {
+				if got[i].Lo[p] != want[i].Lo[p] || got[i].Hi[p] != want[i].Hi[p] {
+					t.Fatalf("workers=%d chip %d path %d: parallel [%v, %v] != sequential [%v, %v]",
+						workers, i, p, got[i].Lo[p], got[i].Hi[p], want[i].Lo[p], want[i].Hi[p])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictIntoBatchZeroAlloc asserts the sequential batched prediction
+// path performs zero heap allocations once the worker scratch is warm — the
+// batch scratch blocks live in the same arena as the vector path's.
+func TestPredictIntoBatchZeroAlloc(t *testing.T) {
+	_, pl := kernelTestPlan(t)
+	bs := measuredBounds(t, pl, 8)
+
+	scr := pl.getScratch()
+	defer pl.putScratch(scr)
+	pl.kernels.predictInto(bs, scr, 1) // warm-up: grows the arena to the batch high-water mark
+	allocs := testing.AllocsPerRun(100, func() {
+		pl.kernels.predictInto(bs, scr, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("batched prediction allocated %.1f times per run after warm-up", allocs)
+	}
+}
+
+// TestBindLazyKernelBake asserts Bind defers the per-group Cholesky bake:
+// a warm plan load must do no eager kernel work, the first chip run must
+// bake exactly once, and the lazily baked plan must match the eagerly
+// prepared one bitwise.
+func TestBindLazyKernelBake(t *testing.T) {
+	c, eager := kernelTestPlan(t)
+	data, err := eager.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Bind(c); err != nil {
+		t.Fatal(err)
+	}
+	if pl.kernels != nil || pl.bakedKernels() != nil {
+		t.Fatal("Bind baked prediction kernels eagerly; the bake must defer to first use")
+	}
+	if pl.lazy == nil {
+		t.Fatal("Bind installed no lazy kernel state")
+	}
+
+	ch := tester.SampleChip(c, 9, 4)
+	want, err := eager.RunChip(ch, c.TNominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.RunChip(ch, c.TNominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.bakedKernels() == nil {
+		t.Fatal("first chip run did not bake the kernels")
+	}
+	if got.Iterations != want.Iterations || got.Passed != want.Passed || got.Xi != want.Xi {
+		t.Fatalf("lazily bound plan diverges: (%d, %v, %v) vs (%d, %v, %v)",
+			got.Iterations, got.Passed, got.Xi, want.Iterations, want.Passed, want.Xi)
+	}
+	for p := range want.Bounds.Lo {
+		if got.Bounds.Lo[p] != want.Bounds.Lo[p] || got.Bounds.Hi[p] != want.Bounds.Hi[p] {
+			t.Fatalf("path %d: lazily bound bounds diverge", p)
+		}
+	}
+}
+
+// TestResolvePredictBatch pins the auto batch-width policy.
+func TestResolvePredictBatch(t *testing.T) {
+	pl := &Plan{}
+	cases := []struct {
+		cfg  int // Cfg.PredictBatch
+		n, w int // population (−1 = unbounded), workers
+		want int
+	}{
+		{0, 100, 4, defaultPredictBatch}, // auto, plenty of chips
+		{0, 100, 100, 1},                 // one chip per worker: nothing to batch
+		{0, 6, 4, 2},                     // small fleet: even share caps the width
+		{0, -1, 4, 1},                    // unbounded source: auto never batches
+		{3, -1, 4, 3},                    // unbounded source: explicit width honored
+		{1, 100, 4, 1},                   // explicitly disabled
+		{16, 100, 4, 16},                 // explicit width beyond auto
+		{16, 8, 4, 2},                    // explicit width still capped by the share
+	}
+	for _, tc := range cases {
+		pl.Cfg.PredictBatch = tc.cfg
+		if got := pl.resolvePredictBatch(tc.n, tc.w); got != tc.want {
+			t.Errorf("resolvePredictBatch(cfg=%d, n=%d, w=%d) = %d, want %d",
+				tc.cfg, tc.n, tc.w, got, tc.want)
+		}
+	}
+}

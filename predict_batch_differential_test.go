@@ -1,0 +1,110 @@
+// Differential suite for the batched prediction scheduler: grouping chips
+// into multi-RHS kernel calls (WithPredictBatch) and fanning a chip's
+// correlation groups across idle workers must both be invisible in the
+// results — bit-identical outcomes at every batch width and worker count,
+// including a ragged final batch. Any single-ULP drift here would silently
+// invalidate the golden corpus.
+package effitest_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"effitest"
+)
+
+// batchVariantEngine rebuilds an engine around an existing plan with
+// different execution knobs — the plan, and therefore every number it
+// derives, is shared; only scheduling differs.
+func batchVariantEngine(t *testing.T, base *effitest.Engine, workers, kb int) *effitest.Engine {
+	t.Helper()
+	eng, err := effitest.New(base.Circuit(),
+		effitest.WithPlan(base.Plan()),
+		effitest.WithPeriod(base.Period()),
+		effitest.WithWorkers(workers),
+		effitest.WithPredictBatch(kb),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestBatchedPredictionMatchesUnbatched runs a deliberately ragged fleet
+// (17 chips: not a multiple of any tested width, so the final batch is
+// always partial) across batch widths 1, 2, 7 and 64 and worker counts 1,
+// 2 and 8, pinning every outcome bitwise against the unbatched sequential
+// baseline.
+func TestBatchedPredictionMatchesUnbatched(t *testing.T) {
+	ctx := context.Background()
+	base := streamEngine(t, 1)
+	chips, err := base.SampleChips(ctx, 13, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batchVariantEngine(t, base, 1, 1).RunChipsAll(ctx, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kb := range []int{1, 2, 7, 64} {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("k%d_w%d", kb, workers), func(t *testing.T) {
+				got, err := batchVariantEngine(t, base, workers, kb).RunChipsAll(ctx, chips)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if !engineOutcomesEqual(got[i], want[i]) {
+						t.Fatalf("chip %d: batched outcome (k=%d, workers=%d) differs from sequential baseline",
+							i, kb, workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWithinChipParallelPredictionMatchesSequential exercises the
+// within-chip group fan-out end to end: with more workers than chips, the
+// idle worker share flows into each chip's prediction phase (RunChips) —
+// and a single RunChip call fans out across Config.Workers directly. Both
+// must be bit-identical to the sequential flow at workers 1, 2 and 8. Run
+// under -race this also proves the group sweep is data-race-free.
+func TestWithinChipParallelPredictionMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	base := streamEngine(t, 1)
+	chips, err := base.SampleChips(ctx, 17, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batchVariantEngine(t, base, 1, 1).RunChipsAll(ctx, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 8} {
+		// 3 chips on `workers` workers: RunChips clamps the pool to 3 and
+		// hands each chip a workers/3 (≥1) within-chip prediction fan-out.
+		eng := batchVariantEngine(t, base, workers, 1)
+		got, err := eng.RunChipsAll(ctx, chips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !engineOutcomesEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d chip %d: fanned-out outcome differs from sequential", workers, i)
+			}
+		}
+		// Single-chip path: RunChip fans prediction across all of
+		// Config.Workers.
+		single, err := eng.RunChip(ctx, chips[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !engineOutcomesEqual(single, want[0]) {
+			t.Fatalf("workers=%d: single-chip outcome differs from sequential", workers)
+		}
+	}
+}

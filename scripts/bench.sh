@@ -3,9 +3,9 @@
 # trajectory is tracked PR over PR (BENCH_<pr>.json at the repo root).
 #
 # Usage (from the repository root):
-#   scripts/bench.sh                    # fast subset, 1 op each -> BENCH_6.json
-#   BENCH_OUT=BENCH_7.json scripts/bench.sh
-#   BENCH_SHORT=1 scripts/bench.sh      # FlowChip only (CI bench-regression smoke)
+#   scripts/bench.sh                    # fast subset, 1 op each -> BENCH_8.json
+#   BENCH_OUT=BENCH_9.json scripts/bench.sh
+#   BENCH_SHORT=1 scripts/bench.sh      # FlowChip* only (CI bench-regression smoke)
 #   BENCH_PATTERN='Benchmark' BENCH_TIME=2s scripts/bench.sh   # everything, timed
 set -eu
 
@@ -18,15 +18,17 @@ set -eu
 BENCH_PATTERN="${BENCH_PATTERN:-BenchmarkFlowChip|BenchmarkEngineRunChips|BenchmarkPrepare|BenchmarkAblationAlignSolver|BenchmarkCampaignThroughput|BenchmarkCoordinatorThroughput}"
 BENCH_PKGS=". ./fleet ./fleet/coord"
 
-# Short mode: the per-chip online flow only (ns/op + allocs/op), the numbers
-# the bench-regression CI job gates on.
+# Short mode: the online flow only, the numbers the bench-regression CI job
+# gates on. The unanchored pattern matches both BenchmarkFlowChip (per-chip
+# ns/op + allocs/op) and BenchmarkFlowChipBatched (fleet chips/s through the
+# batched multi-RHS prediction path).
 if [ "${BENCH_SHORT:-}" = 1 ]; then
   BENCH_PATTERN='BenchmarkFlowChip'
   BENCH_PKGS="."
 fi
 
 BENCH_TIME="${BENCH_TIME:-1x}"
-BENCH_OUT="${BENCH_OUT:-BENCH_6.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_8.json}"
 BENCH_LABEL="${BENCH_LABEL:-${BENCH_OUT%.json}}"
 
 # shellcheck disable=SC2086 — BENCH_PKGS is a deliberate word list.
